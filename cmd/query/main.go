@@ -1,0 +1,104 @@
+// Command query loads relations from TSV files (as written by cmd/gen),
+// builds a direct-access structure for a query and order, and answers
+// index probes from the command line.
+//
+// Usage:
+//
+//	query -q "Q(x, y, z) :- R(x, y), S(y, z)" -order "x, y, z" \
+//	      -data /tmp/data -k 0 -k 100 -k 12345 [-fallback]
+//
+// Relation R is loaded from <data>/R.tsv. With -fallback, intractable
+// orders are served by materialize+sort instead of failing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rankedaccess"
+)
+
+type multi []string
+
+func (m *multi) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multi) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var (
+		qSrc     = flag.String("q", "", "conjunctive query")
+		lSrc     = flag.String("order", "", "lexicographic order")
+		dataDir  = flag.String("data", ".", "directory with <Relation>.tsv files")
+		fallback = flag.Bool("fallback", false, "materialize+sort when the order is intractable")
+		count    = flag.Bool("count", false, "print the answer count and exit")
+		ks       multi
+		fdsRaw   multi
+	)
+	flag.Var(&ks, "k", "0-based index to access (repeatable)")
+	flag.Var(&fdsRaw, "fd", "unary FD \"R: x -> y\" (repeatable)")
+	flag.Parse()
+	if *qSrc == "" {
+		fmt.Fprintln(os.Stderr, "query: -q is required")
+		os.Exit(2)
+	}
+	q, err := rankedaccess.ParseQuery(*qSrc)
+	check(err)
+	l, err := rankedaccess.ParseLex(q, *lSrc)
+	check(err)
+	fds, err := rankedaccess.ParseFDs(q, fdsRaw...)
+	check(err)
+
+	in := rankedaccess.NewInstance()
+	for _, atom := range q.Atoms {
+		if in.Relation(atom.Rel) != nil {
+			continue
+		}
+		path := filepath.Join(*dataDir, atom.Rel+".tsv")
+		f, err := os.Open(path)
+		check(err)
+		check(in.ReadRelation(atom.Rel, f))
+		check(f.Close())
+	}
+	fmt.Printf("loaded %d tuples\n", in.Size())
+
+	var acc rankedaccess.Accessor
+	if *fallback {
+		a, tractable, err := rankedaccess.NewDirectAccessAny(q, in, l, fds)
+		check(err)
+		if !tractable {
+			fmt.Println("note: order is intractable; served by materialize+sort")
+		}
+		acc = a
+	} else {
+		a, err := rankedaccess.NewDirectAccess(q, in, l, fds)
+		check(err)
+		acc = a
+	}
+	fmt.Printf("answers: %d\n", acc.Total())
+	if *count {
+		return
+	}
+	if len(ks) == 0 {
+		ks = multi{"0"}
+	}
+	for _, ks := range ks {
+		var k int64
+		if _, err := fmt.Sscanf(ks, "%d", &k); err != nil {
+			check(fmt.Errorf("bad index %q", ks))
+		}
+		a, err := acc.Access(k)
+		if err != nil {
+			fmt.Printf("  [%d] %v\n", k, err)
+			continue
+		}
+		fmt.Printf("  [%d] %v\n", k, rankedaccess.AnswerTuple(q, a))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "query:", err)
+		os.Exit(1)
+	}
+}

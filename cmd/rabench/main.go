@@ -1,0 +1,65 @@
+// Command rabench runs the reproduction harness: one parameter sweep per
+// paper claim (theorem / figure), printing measured preprocessing,
+// access, selection, and baseline times so the claimed complexity shapes
+// can be verified (see EXPERIMENTS.md for recorded runs).
+//
+// Usage:
+//
+//	rabench                     # all experiments at default scales
+//	rabench -exp thm33 -scale 3 # one experiment, larger sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rankedaccess/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "thm33 | thm41 | thm51 | thm61 | thm73 | fig8 | enum | fd | epidemic | all")
+		scale = flag.Int("scale", 2, "sweep scale 1..4 (each step quadruples the largest n)")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	sweep := func(base int) []int {
+		out := []int{base}
+		for i := 1; i < 3+*scale; i++ {
+			base *= 2
+			out = append(out, base)
+		}
+		return out
+	}
+	big := sweep(4096)
+	small := sweep(512) // experiments whose baseline is super-linear
+	quad := sweep(128)  // experiments whose baseline materializes n² answers
+
+	run := func(name string, tb func() experiments.Table) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Println(tb().Render())
+	}
+	run("thm33", func() experiments.Table { return experiments.Theorem33(big, 1000, *seed) })
+	run("thm41", func() experiments.Table { return experiments.Theorem41(big, 1000, *seed) })
+	run("thm51", func() experiments.Table { return experiments.Theorem51(big, 1000, *seed) })
+	run("thm61", func() experiments.Table { return experiments.Theorem61(big, *seed) })
+	run("thm73", func() experiments.Table { return experiments.Theorem73(small, *seed) })
+	run("fig8", func() experiments.Table { return experiments.Fig8Hardness(quad, *seed) })
+	run("enum", func() experiments.Table { return experiments.RankedEnumContrast(small, 100, *seed) })
+	run("fd", func() experiments.Table { return experiments.FDRescue(big, 1000, *seed) })
+	run("epidemic", func() experiments.Table { return experiments.Epidemic(big, *seed) })
+	run("decompose", func() experiments.Table { return experiments.TriangleDecomposition(small, *seed) })
+	run("union", func() experiments.Table { return experiments.UnionAccess(small, *seed) })
+
+	switch *exp {
+	case "all", "thm33", "thm41", "thm51", "thm61", "thm73", "fig8", "enum", "fd", "epidemic",
+		"decompose", "union":
+	default:
+		fmt.Fprintf(os.Stderr, "rabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

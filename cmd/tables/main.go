@@ -1,0 +1,62 @@
+// Command tables regenerates the paper's figures and tables from the
+// implementation and prints them to stdout.
+//
+// Usage:
+//
+//	tables [-fig1] [-fig2] [-ex11] [-fig4] [-fig8] [-fds] [-all]
+//
+// With no flags, -all is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rankedaccess/internal/tables"
+)
+
+func main() {
+	var (
+		fig1 = flag.Bool("fig1", false, "Figure 1: classification overview")
+		fig2 = flag.Bool("fig2", false, "Figure 2: example orderings")
+		ex11 = flag.Bool("ex11", false, "Example 1.1: bullet classification")
+		fig4 = flag.Bool("fig4", false, "Figure 4: preprocessing annotations")
+		fig8 = flag.Bool("fig8", false, "Figure 8: direct access by SUM")
+		fds  = flag.Bool("fds", false, "Section 8: FD examples")
+		all  = flag.Bool("all", false, "everything")
+	)
+	flag.Parse()
+	if !(*fig1 || *fig2 || *ex11 || *fig4 || *fig8 || *fds) {
+		*all = true
+	}
+	sep := func() { fmt.Println() }
+	if *all || *fig1 {
+		fmt.Print(tables.Fig1())
+		sep()
+	}
+	if *all || *fig2 {
+		fmt.Print(tables.Fig2())
+		sep()
+	}
+	if *all || *ex11 {
+		fmt.Print(tables.Example11())
+		sep()
+	}
+	if *all || *fig4 {
+		out, err := tables.Fig4()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		sep()
+	}
+	if *all || *fig8 {
+		fmt.Print(tables.Fig8())
+		sep()
+	}
+	if *all || *fds {
+		fmt.Print(tables.FDExamples())
+	}
+}

@@ -1,0 +1,105 @@
+package rankedaccess
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewDirectAccessAnyTractable(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	l, _ := ParseLex(q, "x, y, z")
+	acc, tractable, err := NewDirectAccessAny(q, exampleDB(), l, nil)
+	if err != nil || !tractable {
+		t.Fatalf("tractable path: %v %v", tractable, err)
+	}
+	if acc.Total() != 5 {
+		t.Fatalf("total = %d", acc.Total())
+	}
+}
+
+func TestNewDirectAccessAnyFallback(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	l, _ := ParseLex(q, "x, z, y") // disruptive trio
+	acc, tractable, err := NewDirectAccessAny(q, exampleDB(), l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tractable {
+		t.Fatal("trio order must take the fallback path")
+	}
+	if acc.Total() != 5 {
+		t.Fatalf("fallback total = %d", acc.Total())
+	}
+	// Figure 2(c) first answer: (x=1, z=3, y=5).
+	a, err := acc.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuple := AnswerTuple(q, a); tuple[0] != 1 || tuple[1] != 5 || tuple[2] != 3 {
+		t.Fatalf("fallback first answer = %v", tuple)
+	}
+	if _, err := acc.Access(99); !errors.Is(err, ErrOutOfBound) {
+		t.Fatal("out of bound expected")
+	}
+}
+
+func TestNewDirectAccessAnyDataError(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	l, _ := ParseLex(q, "x, y, z")
+	in := NewInstance()
+	in.AddRow("R", 1, 2, 3) // wrong arity
+	in.AddRow("S", 1, 2)
+	if _, _, err := NewDirectAccessAny(q, in, l, nil); err == nil {
+		t.Fatal("arity mismatch must surface as an error, not a fallback")
+	}
+}
+
+func TestFacadeFDVariants(t *testing.T) {
+	q := MustParseQuery("Q(x, z) :- R(x, y), S(y, z)")
+	fds, err := ParseFDs(q, "S: y -> z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 2, 7)
+	in.AddRow("S", 5, 30)
+	in.AddRow("S", 7, 10)
+	l, _ := ParseLex(q, "x, z")
+
+	da, err := NewDirectAccess(q, in, l, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.Total() != 2 {
+		t.Fatalf("total = %d", da.Total())
+	}
+	w := IdentitySum(q.Head...)
+	sa, err := NewDirectAccessSum(q, in, w, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Total() != 2 {
+		t.Fatalf("sum total = %d", sa.Total())
+	}
+	if a, err := Select(q, in, l, 0, fds); err != nil || a == nil {
+		t.Fatalf("FD select: %v", err)
+	}
+	if a, err := SelectBySum(q, in, w, 1, fds); err != nil || a == nil {
+		t.Fatalf("FD sum select: %v", err)
+	}
+}
+
+func TestParseFDsError(t *testing.T) {
+	q := MustParseQuery("Q(x, z) :- R(x, y), S(y, z)")
+	if _, err := ParseFDs(q, "T: a -> b"); err == nil {
+		t.Fatal("bad FD must error")
+	}
+}
+
+func TestCountNonFreeConnex(t *testing.T) {
+	q := MustParseQuery("Q(x, z) :- R(x, y), S(y, z)")
+	if _, err := Count(q, exampleDB()); err == nil {
+		t.Fatal("count of non-free-connex query must error (linear-time counting is impossible)")
+	}
+}

@@ -1,0 +1,604 @@
+package access
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rankedaccess/internal/baseline"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/fd"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+func lex(t *testing.T, q *cq.Query, s string) order.Lex {
+	t.Helper()
+	l, err := order.ParseLex(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func fig2() *database.Instance {
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 1, 2)
+	in.AddRow("R", 6, 2)
+	in.AddRow("S", 5, 3)
+	in.AddRow("S", 5, 4)
+	in.AddRow("S", 5, 6)
+	in.AddRow("S", 2, 5)
+	return in
+}
+
+func proj(q *cq.Query, a order.Answer) []values.Value {
+	out := make([]values.Value, len(q.Head))
+	for i, v := range q.Head {
+		out[i] = a[v]
+	}
+	return out
+}
+
+// enumerate drains the structure through Access.
+func enumerate(t *testing.T, la *Lex) []order.Answer {
+	t.Helper()
+	out := make([]order.Answer, 0, la.Total())
+	for k := int64(0); k < la.Total(); k++ {
+		a, err := la.Access(k)
+		if err != nil {
+			t.Fatalf("Access(%d): %v", k, err)
+		}
+		out = append(out, a)
+	}
+	if _, err := la.Access(la.Total()); !errors.Is(err, ErrOutOfBound) {
+		t.Fatalf("Access(total) must be out of bound, got %v", err)
+	}
+	if _, err := la.Access(-1); !errors.Is(err, ErrOutOfBound) {
+		t.Fatal("Access(-1) must be out of bound")
+	}
+	return out
+}
+
+// Figure 2(b): enumeration of the 2-path answers by ⟨x,y,z⟩.
+func TestFig2bAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	la, err := BuildLex(q, fig2(), lex(t, q, "x, y, z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Total() != 5 {
+		t.Fatalf("total = %d", la.Total())
+	}
+	want := [][]values.Value{
+		{1, 2, 5}, {1, 5, 3}, {1, 5, 4}, {1, 5, 6}, {6, 2, 5},
+	}
+	for k, a := range enumerate(t, la) {
+		if !reflect.DeepEqual(proj(q, a), want[k]) {
+			t.Fatalf("answer #%d = %v, want %v", k+1, proj(q, a), want[k])
+		}
+	}
+}
+
+// Example 3.5–3.7 (Figures 3–5): the Cartesian-product query Q3 with the
+// interleaved order, its preprocessing weights, and the access trace.
+func q3Instance() (*cq.Query, *database.Instance) {
+	q := cq.MustParse("Q3(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)")
+	in := database.NewInstance()
+	// a1=1, a2=2; c1=1, c2=2, c3=3; b1=1, b2=2; d1=1..d4=4.
+	in.AddRow("R", 1, 1) // (a1, c1)
+	in.AddRow("R", 1, 2) // (a1, c2)
+	in.AddRow("R", 2, 2) // (a2, c2)
+	in.AddRow("R", 2, 3) // (a2, c3)
+	in.AddRow("S", 1, 1) // (b1, d1)
+	in.AddRow("S", 1, 2) // (b1, d2)
+	in.AddRow("S", 1, 3) // (b1, d3)
+	in.AddRow("S", 2, 4) // (b2, d4)
+	return q, in
+}
+
+func TestExample35LayeredTree(t *testing.T) {
+	q, in := q3Instance()
+	la, err := BuildLex(q, in, lex(t, q, "v1, v2, v3, v4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.LayerCount() != 4 {
+		t.Fatalf("layers = %d", la.LayerCount())
+	}
+	// Tree shape of Figure 3b: v2's and v3's layers hang off v1's; v4's
+	// hangs off v2's.
+	if la.LayerParent(0) != -1 || la.LayerParent(1) != 0 || la.LayerParent(2) != 0 || la.LayerParent(3) != 1 {
+		t.Fatalf("parents = %d %d %d %d", la.LayerParent(0), la.LayerParent(1), la.LayerParent(2), la.LayerParent(3))
+	}
+}
+
+func TestExample36Weights(t *testing.T) {
+	q, in := q3Instance()
+	la, err := BuildLex(q, in, lex(t, q, "v1, v2, v3, v4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Total() != 16 {
+		t.Fatalf("total = %d, want 16", la.Total())
+	}
+	// Figure 4: R' tuples a1, a2 have weight 8 and starts 0, 8.
+	rp := la.DumpLayer(0)
+	if len(rp) != 2 {
+		t.Fatalf("R' has %d tuples", len(rp))
+	}
+	for i, want := range []BucketDump{{Value: 1, Weight: 8, Start: 0}, {Value: 2, Weight: 8, Start: 8}} {
+		if rp[i].Value != want.Value || rp[i].Weight != want.Weight || rp[i].Start != want.Start {
+			t.Fatalf("R'[%d] = %+v, want %+v", i, rp[i], want)
+		}
+	}
+	// S': b1 weight 3 start 0; b2 weight 1 start 3.
+	sp := la.DumpLayer(1)
+	if len(sp) != 2 || sp[0].Weight != 3 || sp[0].Start != 0 || sp[1].Weight != 1 || sp[1].Start != 3 {
+		t.Fatalf("S' dump = %+v", sp)
+	}
+	// R: four tuples of weight 1; starts 0,1 within each bucket.
+	rd := la.DumpLayer(2)
+	if len(rd) != 4 {
+		t.Fatalf("R has %d tuples", len(rd))
+	}
+	for _, d := range rd {
+		if d.Weight != 1 {
+			t.Fatalf("R tuple weight = %+v", d)
+		}
+	}
+	// S: starts 0,1,2 in bucket b1 and 0 in bucket b2.
+	sd := la.DumpLayer(3)
+	var b1starts []int64
+	for _, d := range sd {
+		if d.Key[0] == 1 {
+			b1starts = append(b1starts, d.Start)
+		}
+	}
+	if !reflect.DeepEqual(b1starts, []int64{0, 1, 2}) {
+		t.Fatalf("S bucket b1 starts = %v", b1starts)
+	}
+}
+
+// Example 3.7: answer number 12 (0-based) is (a2, b1, c3, d2).
+func TestExample37AccessTrace(t *testing.T) {
+	q, in := q3Instance()
+	la, err := BuildLex(q, in, lex(t, q, "v1, v2, v3, v4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := la.Access(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proj(q, a); !reflect.DeepEqual(got, []values.Value{2, 1, 3, 2}) {
+		t.Fatalf("answer #12 = %v, want (a2, b1, c3, d2) = [2 1 3 2]", got)
+	}
+}
+
+// Inverted access must invert Access on every index (Remark 3 /
+// Algorithm 2), and reject non-answers.
+func TestInvertedAccess(t *testing.T) {
+	q, in := q3Instance()
+	la, err := BuildLex(q, in, lex(t, q, "v1, v2, v3, v4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < la.Total(); k++ {
+		a, _ := la.Access(k)
+		got, err := la.Inverted(a)
+		if err != nil || got != k {
+			t.Fatalf("Inverted(Access(%d)) = %d, %v", k, got, err)
+		}
+	}
+	// (a1, b1, c3, d1) is not an answer: R lacks (a1, c3).
+	bad := make(order.Answer, q.NumVars())
+	ids := func(n string) cq.VarID { v, _ := q.VarByName(n); return v }
+	bad[ids("v1")], bad[ids("v2")], bad[ids("v3")], bad[ids("v4")] = 1, 1, 3, 1
+	if _, err := la.Inverted(bad); !errors.Is(err, ErrNotAnAnswer) {
+		t.Fatalf("expected ErrNotAnAnswer, got %v", err)
+	}
+	// NextGE of that tuple: the 6 answers (a1, b1, c1|c2, d*) precede it,
+	// so the next answer is (a1, b2, c1, d4) at index 6.
+	k, err := la.NextGE(bad)
+	if err != nil || k != 6 {
+		t.Fatalf("NextGE = %d, %v (want 6)", k, err)
+	}
+	// NextGE past the last answer is out of bound.
+	past := make(order.Answer, q.NumVars())
+	past[ids("v1")], past[ids("v2")], past[ids("v3")], past[ids("v4")] = 99, 1, 1, 1
+	if _, err := la.NextGE(past); !errors.Is(err, ErrOutOfBound) {
+		t.Fatalf("NextGE past end: %v", err)
+	}
+}
+
+func TestIntractableOrderRejected(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	_, err := BuildLex(q, fig2(), lex(t, q, "x, z, y"))
+	var ie *IntractableError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected IntractableError, got %v", err)
+	}
+	if len(ie.Verdict.Trio) != 3 {
+		t.Fatalf("expected trio certificate: %+v", ie.Verdict)
+	}
+}
+
+func TestPartialOrderCompletion(t *testing.T) {
+	// ⟨z,y⟩ on the 2-path (Example 4.2 tractable): completion appends x.
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	la, err := BuildLex(q, fig2(), lex(t, q, "z, y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la.Completed.Entries) != 3 {
+		t.Fatalf("completed order has %d entries", len(la.Completed.Entries))
+	}
+	if la.Completed.Entries[0].Var != la.Completed.Entries[0].Var {
+		t.Fatal("unreachable")
+	}
+	want := baseline.SortedByLex(q, fig2(), la.Completed)
+	for k, a := range enumerate(t, la) {
+		if !reflect.DeepEqual(proj(q, a), proj(q, want[k])) {
+			t.Fatalf("answer #%d = %v, want %v", k, proj(q, a), proj(q, want[k]))
+		}
+	}
+}
+
+func TestDescendingDirection(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	la, err := BuildLex(q, fig2(), lex(t, q, "x desc, y, z desc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.SortedByLex(q, fig2(), la.Completed)
+	for k, a := range enumerate(t, la) {
+		if !reflect.DeepEqual(proj(q, a), proj(q, want[k])) {
+			t.Fatalf("answer #%d = %v, want %v", k, proj(q, a), proj(q, want[k]))
+		}
+	}
+	// First answer must have the maximal x.
+	first, _ := la.Access(0)
+	x, _ := q.VarByName("x")
+	if first[x] != 6 {
+		t.Fatalf("desc first x = %d", first[x])
+	}
+}
+
+func TestProjectionQueryAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y) :- R(x, y), S(y, z)")
+	la, err := BuildLex(q, fig2(), lex(t, q, "y, x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.SortedByLex(q, fig2(), la.Completed)
+	if la.Total() != int64(len(want)) {
+		t.Fatalf("total = %d, want %d", la.Total(), len(want))
+	}
+	for k, a := range enumerate(t, la) {
+		if !reflect.DeepEqual(proj(q, a), proj(q, want[k])) {
+			t.Fatalf("answer #%d = %v, want %v", k, proj(q, a), proj(q, want[k]))
+		}
+	}
+}
+
+func TestBooleanAccess(t *testing.T) {
+	q := cq.MustParse("Q() :- R(x, y), S(y, z)")
+	la, err := BuildLex(q, fig2(), order.Lex{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Total() != 1 {
+		t.Fatalf("Boolean true total = %d", la.Total())
+	}
+	if _, err := la.Access(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := la.Access(1); !errors.Is(err, ErrOutOfBound) {
+		t.Fatal("Boolean Access(1) must be out of bound")
+	}
+	// Empty join: total 0.
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.SetRelation("S", database.NewRelation(2))
+	la2, err := BuildLex(q, in, order.Lex{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la2.Total() != 0 {
+		t.Fatalf("Boolean false total = %d", la2.Total())
+	}
+}
+
+func TestEmptyResultAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.SetRelation("S", database.NewRelation(2))
+	la, err := BuildLex(q, in, lex(t, q, "x, y, z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Total() != 0 {
+		t.Fatalf("total = %d", la.Total())
+	}
+	if _, err := la.Access(0); !errors.Is(err, ErrOutOfBound) {
+		t.Fatal("access on empty result must be out of bound")
+	}
+}
+
+// randomInstance fills the query's relations with random small tuples.
+func randomInstance(q *cq.Query, rng *rand.Rand, maxRows, domain int) *database.Instance {
+	in := database.NewInstance()
+	for _, a := range q.Atoms {
+		if in.Relation(a.Rel) != nil {
+			continue
+		}
+		in.SetRelation(a.Rel, database.NewRelation(len(a.Vars)))
+		rows := rng.Intn(maxRows + 1)
+		for r := 0; r < rows; r++ {
+			row := make([]values.Value, len(a.Vars))
+			for c := range row {
+				row[c] = values.Value(rng.Intn(domain))
+			}
+			in.AddRow(a.Rel, row...)
+		}
+	}
+	return in
+}
+
+// The cornerstone property test: on a catalog of tractable (query, order)
+// pairs and random instances, Access enumerates exactly the oracle's
+// sorted answers, Inverted inverts it, and Total matches.
+func TestAccessMatchesOracleRandom(t *testing.T) {
+	catalog := []struct{ src, order string }{
+		{"Q(x, y, z) :- R(x, y), S(y, z)", "x, y, z"},
+		{"Q(x, y, z) :- R(x, y), S(y, z)", "y, x, z"},
+		{"Q(x, y, z) :- R(x, y), S(y, z)", "y desc, z, x desc"},
+		{"Q(x, y, z) :- R(x, y), S(y, z)", "z, y"},
+		{"Q(x, y) :- R(x, y), S(y, z)", "x, y"},
+		{"Q(y) :- R(x, y), S(y, z)", "y"},
+		{"Q3(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)", "v1, v2, v3, v4"},
+		{"Q3(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)", "v1, v2"},
+		{"Q5(v1, v2, v3, v4, v5) :- R1(v1, v3), R2(v3, v4), R3(v2, v5)", "v1, v2, v3, v4, v5"},
+		{"Q6(v1, v2, v3, v4, v5) :- R1(v1, v2, v4), R2(v2, v3, v5)", "v1, v2, v3, v4, v5"},
+		{"Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)", "x, y, z, u"},
+		{"Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)", "y, z, x, u"},
+		{"Q(a, b) :- R(a, b), S(b), T(b, c), U(c, d)", "b, a"},
+		{"Q(x, y) :- R(x), S(y)", "x, y"},
+		{"Q1(x, y) :- R1(x), R2(x, y), R3(y)", "x, y"},
+		{"Q2(x) :- R1(x, y), R2(y)", "x"},
+		{"Q(x, y, z) :- R(x, y), R2(y, z), R3(y)", "y, z, x"},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range catalog {
+		q := cq.MustParse(c.src)
+		l := lex(t, q, c.order)
+		for trial := 0; trial < 25; trial++ {
+			in := randomInstance(q, rng, 7, 4)
+			la, err := BuildLex(q, in, l)
+			if err != nil {
+				t.Fatalf("%s ⟨%s⟩: %v", c.src, c.order, err)
+			}
+			want := baseline.SortedByLex(q, in, la.Completed)
+			if la.Total() != int64(len(want)) {
+				t.Fatalf("%s ⟨%s⟩: total %d, oracle %d", c.src, c.order, la.Total(), len(want))
+			}
+			for k := int64(0); k < la.Total(); k++ {
+				a, err := la.Access(k)
+				if err != nil {
+					t.Fatalf("%s Access(%d): %v", c.src, k, err)
+				}
+				if !reflect.DeepEqual(proj(q, a), proj(q, want[k])) {
+					t.Fatalf("%s ⟨%s⟩ trial %d: answer #%d = %v, oracle %v",
+						c.src, c.order, trial, k, proj(q, a), proj(q, want[k]))
+				}
+				if inv, err := la.Inverted(a); err != nil || inv != k {
+					t.Fatalf("%s: Inverted(Access(%d)) = %d, %v", c.src, k, inv, err)
+				}
+			}
+		}
+	}
+}
+
+// Rank must agree with the oracle on arbitrary probe tuples (including
+// non-answers): it counts answers strictly before the probe.
+func TestRankAgainstOracleRandom(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	l := lex(t, q, "x, y, z")
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(q, rng, 6, 3)
+		la, err := BuildLex(q, in, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := baseline.SortedByLex(q, in, la.Completed)
+		for probe := 0; probe < 30; probe++ {
+			a := make(order.Answer, q.NumVars())
+			for _, v := range q.Head {
+				a[v] = values.Value(rng.Intn(4))
+			}
+			wantRank := 0
+			exactWant := false
+			for _, s := range sorted {
+				c := la.Completed.Compare(s, a)
+				if c < 0 {
+					wantRank++
+				} else if c == 0 {
+					exactWant = true
+				}
+			}
+			gotRank, gotExact := la.Rank(a)
+			if int64(wantRank) != gotRank || exactWant != gotExact {
+				t.Fatalf("trial %d: Rank(%v) = (%d, %v), oracle (%d, %v)",
+					trial, proj(q, a), gotRank, gotExact, wantRank, exactWant)
+			}
+		}
+	}
+}
+
+// FD-extended direct access (Theorem 8.21): Example 1.1's bullet with FD
+// R: x → y making ⟨x,z,y⟩ tractable.
+func TestFDLexAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	fds := fd.MustParse(q, "R: x -> y")
+	// Build an instance satisfying x → y.
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 6, 2)
+	in.AddRow("R", 7, 2)
+	in.AddRow("S", 5, 3)
+	in.AddRow("S", 5, 4)
+	in.AddRow("S", 2, 5)
+	in.AddRow("S", 2, 1)
+	l := lex(t, q, "x, z, y")
+	la, err := BuildLexFD(q, in, l, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.SortedByLex(q, in, l) // full order: x, z, y (deterministic: y is implied)
+	if la.Total() != int64(len(want)) {
+		t.Fatalf("total = %d, oracle %d", la.Total(), len(want))
+	}
+	for k := int64(0); k < la.Total(); k++ {
+		a, err := la.Access(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(proj(q, a), proj(q, want[k])) {
+			t.Fatalf("answer #%d = %v, oracle %v", k, proj(q, a), proj(q, want[k]))
+		}
+		if inv, err := la.Inverted(a); err != nil || inv != k {
+			t.Fatalf("Inverted(Access(%d)) = %d, %v", k, inv, err)
+		}
+	}
+	// A violating instance must be rejected.
+	in.AddRow("R", 1, 9)
+	if _, err := BuildLexFD(q, in, l, fds); err == nil {
+		t.Fatal("violating instance must be rejected")
+	}
+}
+
+// FD access for Example 8.3: the non-free-connex Q2P becomes accessible.
+func TestFDLexAccessExample83(t *testing.T) {
+	q := cq.MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	fds := fd.MustParse(q, "S: y -> z")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 2, 5)
+	in.AddRow("R", 2, 7)
+	in.AddRow("R", 3, 8) // dangling (no S tuple with y=8)
+	in.AddRow("S", 5, 30)
+	in.AddRow("S", 7, 10)
+	l := lex(t, q, "x, z")
+	la, err := BuildLexFD(q, in, l, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.SortedByLex(q, in, l)
+	if la.Total() != int64(len(want)) {
+		t.Fatalf("total = %d, oracle %d", la.Total(), len(want))
+	}
+	for k := int64(0); k < la.Total(); k++ {
+		a, _ := la.Access(k)
+		if !reflect.DeepEqual(proj(q, a), proj(q, want[k])) {
+			t.Fatalf("answer #%d = %v, oracle %v", k, proj(q, a), proj(q, want[k]))
+		}
+	}
+	// Inverted access through the FD extender.
+	for k := int64(0); k < la.Total(); k++ {
+		a, _ := la.Access(k)
+		if inv, err := la.Inverted(a); err != nil || inv != k {
+			t.Fatalf("Inverted(%v) = %d, %v", proj(q, a), inv, err)
+		}
+	}
+}
+
+// SUM direct access (Lemma 5.9) against the oracle.
+func TestSumAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y) :- R(x, y), S(y, z)")
+	x, _ := q.VarByName("x")
+	y, _ := q.VarByName("y")
+	w := order.IdentitySum(x, y)
+	sa, err := BuildSum(q, fig2(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.SortedBySum(q, fig2(), w)
+	if sa.Total() != int64(len(want)) {
+		t.Fatalf("total = %d, oracle %d", sa.Total(), len(want))
+	}
+	for k := int64(0); k < sa.Total(); k++ {
+		a, err := sa.Access(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, _ := sa.WeightAt(k)
+		if ww := w.AnswerWeight(q, want[k]); gw != ww {
+			t.Fatalf("weight #%d = %v, oracle %v", k, gw, ww)
+		}
+		_ = a
+	}
+	if _, err := sa.Access(sa.Total()); !errors.Is(err, ErrOutOfBound) {
+		t.Fatal("out of bound expected")
+	}
+	// Weight lookup: first index of an existing weight; -1 for missing.
+	w0, _ := sa.WeightAt(0)
+	if idx := sa.WeightLookup(w0); idx != 0 {
+		t.Fatalf("WeightLookup(first) = %d", idx)
+	}
+	if idx := sa.WeightLookup(-999); idx != -1 {
+		t.Fatalf("WeightLookup(missing) = %d", idx)
+	}
+}
+
+func TestSumAccessIntractableRejected(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	_, err := BuildSum(q, fig2(), order.NewSum())
+	var ie *IntractableError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected IntractableError, got %v", err)
+	}
+}
+
+// SUM access with FDs (Theorem 8.9): Example 8.3's query becomes
+// tractable by SUM.
+func TestSumAccessFD(t *testing.T) {
+	q := cq.MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	fds := fd.MustParse(q, "S: y -> z")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 2, 5)
+	in.AddRow("R", 2, 7)
+	in.AddRow("S", 5, 30)
+	in.AddRow("S", 7, 10)
+	x, _ := q.VarByName("x")
+	z, _ := q.VarByName("z")
+	w := order.IdentitySum(x, z)
+	// Without the FD: rejected.
+	if _, err := BuildSum(q, in, w); err == nil {
+		t.Fatal("must be rejected without FDs")
+	}
+	sa, err := BuildSumFD(q, in, w, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.SortedBySum(q, in, w)
+	if sa.Total() != int64(len(want)) {
+		t.Fatalf("total = %d, oracle %d", sa.Total(), len(want))
+	}
+	for k := int64(0); k < sa.Total(); k++ {
+		gw, _ := sa.WeightAt(k)
+		if ww := w.AnswerWeight(q, want[k]); gw != ww {
+			t.Fatalf("weight #%d = %v, oracle %v", k, gw, ww)
+		}
+		a, _ := sa.Access(k)
+		if got := w.AnswerWeight(q, a); got != gw {
+			t.Fatalf("answer weight mismatch at %d: %v vs %v", k, got, gw)
+		}
+	}
+}

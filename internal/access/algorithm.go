@@ -1,0 +1,192 @@
+package access
+
+import (
+	"fmt"
+	"sort"
+
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// Access returns the k-th answer (0-based) in the completed
+// lexicographic order, in O(log n) time (Algorithm 1).
+func (la *Lex) Access(k int64) (order.Answer, error) {
+	if la.boolean {
+		if la.boolTrue && k == 0 {
+			return la.output(make(order.Answer, la.numVars)), nil
+		}
+		return nil, ErrOutOfBound
+	}
+	if k < 0 || k >= la.total {
+		return nil, ErrOutOfBound
+	}
+	f := len(la.layers)
+	bucket := make([]int, f)
+	bucket[0] = 0
+	factor := la.total
+	ans := make(order.Answer, la.numVars)
+	for i := 0; i < f; i++ {
+		ly := &la.layers[i]
+		b := bucket[i]
+		factor /= ly.bucketWeight[b]
+		lo, hi := ly.bucketStart[b], ly.bucketEnd[b]
+		// Largest tuple index t in [lo, hi) with starts[t]*factor ≤ k.
+		t := lo + sort.Search(hi-lo, func(j int) bool {
+			return ly.starts[lo+j]*factor > k
+		}) - 1
+		if t < lo {
+			return nil, fmt.Errorf("access: internal: binary search fell off bucket")
+		}
+		k -= ly.starts[t] * factor
+		ans[ly.v] = ly.vals[t]
+		for _, c := range ly.children {
+			child := &la.layers[c]
+			cb, ok := la.childBucket(ly, child, ly.bucketKeys[b], ly.vals[t])
+			if !ok {
+				return nil, fmt.Errorf("access: internal: missing child bucket during access")
+			}
+			bucket[c] = cb
+			factor *= child.bucketWeight[cb]
+		}
+	}
+	if k != 0 {
+		return nil, fmt.Errorf("access: internal: residual index %d after descent", k)
+	}
+	return la.output(ans), nil
+}
+
+// output applies the FD projection (identity when no FDs are in play).
+func (la *Lex) output(a order.Answer) order.Answer {
+	if la.project != nil {
+		return la.project(a)
+	}
+	return a
+}
+
+// input applies the FD answer-extension (identity without FDs). The bool
+// is false when the given tuple cannot be extended (hence is not an
+// answer and no answer shares its projection).
+func (la *Lex) input(a order.Answer) (order.Answer, bool) {
+	if la.extend != nil {
+		return la.extend(a)
+	}
+	return a, true
+}
+
+// Rank returns the number of answers strictly preceding the given tuple
+// in the completed order, and whether the tuple is itself an answer. The
+// tuple is VarID-indexed and must assign every free variable of Query.
+// Runs in O(log n).
+func (la *Lex) Rank(a order.Answer) (int64, bool) {
+	if la.boolean {
+		return 0, la.boolTrue
+	}
+	ext, ok := la.input(a)
+	if !ok {
+		// The tuple disagrees with the FDs, so it is not an answer, and
+		// its rank cannot be resolved below a missing implied value; rank
+		// counts answers preceding it on the original-order prefix only.
+		ext = a
+	}
+	f := len(la.layers)
+	bucket := make([]int, f)
+	factor := la.total
+	if la.total == 0 {
+		return 0, false
+	}
+	var k int64
+	exact := ok
+	for i := 0; i < f; i++ {
+		ly := &la.layers[i]
+		b := bucket[i]
+		factor /= ly.bucketWeight[b]
+		lo, hi := ly.bucketStart[b], ly.bucketEnd[b]
+		target := ext[ly.v]
+		// Binary search for target under the layer direction.
+		t := lo + sort.Search(hi-lo, func(j int) bool {
+			if ly.dir == order.Desc {
+				return ly.vals[lo+j] <= target
+			}
+			return ly.vals[lo+j] >= target
+		})
+		if t == hi || ly.vals[t] != target {
+			// No tuple with this value: everything before position t
+			// precedes the target; nothing deeper matches.
+			if t == hi {
+				k += ly.bucketWeight[b] * factor
+			} else {
+				k += ly.starts[t] * factor
+			}
+			return k, false
+		}
+		k += ly.starts[t] * factor
+		for _, c := range ly.children {
+			child := &la.layers[c]
+			cb, okc := la.childBucket(ly, child, ly.bucketKeys[b], ly.vals[t])
+			if !okc {
+				return k, false
+			}
+			bucket[c] = cb
+			factor *= child.bucketWeight[cb]
+		}
+	}
+	return k, exact
+}
+
+// Inverted implements Algorithm 2: given an answer, return its index in
+// the completed order; ErrNotAnAnswer if the tuple is not an answer.
+func (la *Lex) Inverted(a order.Answer) (int64, error) {
+	k, exact := la.Rank(a)
+	if !exact {
+		return 0, ErrNotAnAnswer
+	}
+	return k, nil
+}
+
+// NextGE returns the index of the first answer that is ≥ the given tuple
+// in the completed order (Remark 3's "next answer" access); if every
+// answer precedes the tuple, it returns ErrOutOfBound.
+func (la *Lex) NextGE(a order.Answer) (int64, error) {
+	k, _ := la.Rank(a)
+	if k >= la.total {
+		return 0, ErrOutOfBound
+	}
+	return k, nil
+}
+
+// LayerCount returns the number of layers (the number of free variables
+// of the completed order); 0 for Boolean queries.
+func (la *Lex) LayerCount() int { return len(la.layers) }
+
+// BucketDump describes one tuple of one layer, for inspection and for
+// reproducing Figure 4.
+type BucketDump struct {
+	Key    []values.Value
+	Value  values.Value
+	Weight int64
+	Start  int64
+}
+
+// DumpLayer returns the per-tuple weight/start table of a layer in
+// storage order, reproducing the annotations of Figure 4.
+func (la *Lex) DumpLayer(i int) []BucketDump {
+	ly := &la.layers[i]
+	out := make([]BucketDump, 0, len(ly.vals))
+	for b := range ly.bucketStart {
+		for t := ly.bucketStart[b]; t < ly.bucketEnd[b]; t++ {
+			out = append(out, BucketDump{
+				Key:    ly.bucketKeys[b],
+				Value:  ly.vals[t],
+				Weight: ly.weights[t],
+				Start:  ly.starts[t],
+			})
+		}
+	}
+	return out
+}
+
+// LayerVar returns the lexicographic variable of layer i.
+func (la *Lex) LayerVar(i int) values.Value { return values.Value(la.layers[i].v) }
+
+// LayerParent returns the parent layer of layer i (-1 for the root).
+func (la *Lex) LayerParent(i int) int { return la.layers[i].parent }

@@ -1,0 +1,43 @@
+package access
+
+import (
+	"rankedaccess/internal/classify"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/fd"
+	"rankedaccess/internal/order"
+)
+
+// BuildLexFD constructs a direct-access structure for q under unary FDs
+// (Theorem 8.21): the layered structure is built for the FD-extension Q⁺
+// over the extended instance I⁺ with the reordered order L⁺, which by
+// Lemma 8.16 sorts Q⁺(I⁺) exactly as L sorts Q(I); answers are projected
+// back to q's free variables on the way out.
+//
+// The instance must satisfy the FDs (checked; a violation is an error).
+func BuildLexFD(q *cq.Query, in *database.Instance, l order.Lex, fds fd.Set) (*Lex, error) {
+	verdict, w := classify.DirectAccessLexFD(q, l, fds)
+	if !verdict.Tractable {
+		return nil, &IntractableError{Verdict: verdict}
+	}
+	if err := fds.Check(q, in); err != nil {
+		return nil, err
+	}
+	iplus, err := w.Ext.ExtendInstance(q, in)
+	if err != nil {
+		return nil, err
+	}
+	la, err := buildLayered(w.Ext.Query, iplus, w.LPlus)
+	if err != nil {
+		return nil, err
+	}
+	extender, err := w.Ext.AnswerExtender(q, in)
+	if err != nil {
+		return nil, err
+	}
+	orig := q
+	la.Query = orig
+	la.project = func(a order.Answer) order.Answer { return fd.ProjectAnswer(orig, a) }
+	la.extend = func(a order.Answer) (order.Answer, bool) { return extender(a) }
+	return la, nil
+}

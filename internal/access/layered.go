@@ -1,0 +1,326 @@
+// Package access implements the paper's ranked direct-access structures:
+//
+//   - the layered join tree (Definition 3.4) constructed per Lemma 3.9,
+//   - the ⟨n log n, log n⟩ preprocessing of §3.1 (buckets, subtree counts,
+//     start offsets),
+//   - Algorithm 1 (direct access by lexicographic order),
+//   - Algorithm 2 (inverted access) and the next-answer variant (Remark 3),
+//   - partial-order completion (Lemma 4.4),
+//   - the FD-extension wrappers of §8.2, and
+//   - the ⟨n log n, 1⟩ direct access by SUM of Lemma 5.9.
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rankedaccess/internal/classify"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/hypergraph"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/reduce"
+	"rankedaccess/internal/values"
+)
+
+// ErrOutOfBound is returned when the requested index is ≥ the number of
+// answers (or negative), matching the paper's "out-of-bound" answer.
+var ErrOutOfBound = errors.New("access: index out of bound")
+
+// ErrNotAnAnswer is returned by inverted access when the given tuple is
+// not an answer.
+var ErrNotAnAnswer = errors.New("access: not an answer")
+
+// IntractableError reports that the requested (query, order) pair is on
+// the intractable side of the paper's dichotomy; it carries the verdict
+// with the hardness certificate.
+type IntractableError struct {
+	Verdict classify.Verdict
+}
+
+func (e *IntractableError) Error() string {
+	return "access: " + e.Verdict.String()
+}
+
+// layer is one layer of the layered join tree: a node whose variables are
+// keyVars ∪ {v}, with v the layer's lexicographic variable. Its relation
+// is partitioned into buckets by keyVars values; inside a bucket, tuples
+// are distinct v-values sorted by the layer's direction, each carrying
+// the number of answers it contributes in its subtree (weight) and the
+// running sum of preceding weights (start).
+type layer struct {
+	v        cq.VarID
+	dir      order.Direction
+	keyVars  []cq.VarID
+	parent   int
+	children []int
+
+	srcNode int // index of the reduce.Full node this layer projects
+
+	vals    []values.Value
+	weights []int64
+	starts  []int64
+
+	bucketOf     map[string]int
+	bucketStart  []int
+	bucketEnd    []int
+	bucketWeight []int64
+	bucketKeys   [][]values.Value // key values aligned with keyVars
+}
+
+// Lex is the direct-access structure for a lexicographic order.
+type Lex struct {
+	// Query is the query whose answers are accessed (the original one,
+	// before any FD extension).
+	Query *cq.Query
+	// Completed is the full lexicographic order actually realized: the
+	// requested order extended per Lemma 4.4 (and, with FDs, reordered
+	// per Definition 8.13). Answers are totally ordered by it.
+	Completed order.Lex
+
+	layers  []layer
+	rels    []*database.Relation // per-layer relations (columns: keyVars..., v)
+	total   int64
+	numVars int
+
+	// boolean handling for queries with no free variables.
+	boolean  bool
+	boolTrue bool
+
+	// FD-extension plumbing (identity when no FDs are involved).
+	project func(order.Answer) order.Answer
+	extend  func(order.Answer) (order.Answer, bool)
+}
+
+// Total returns |Q(I)|.
+func (la *Lex) Total() int64 { return la.total }
+
+// BuildLex constructs the direct-access structure for q over in, ordered
+// by the (possibly partial) lexicographic order l. It fails with
+// *IntractableError when (q, l) is on the intractable side of
+// Theorem 4.1. Preprocessing runs in O(n log n).
+func BuildLex(q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error) {
+	if v := classify.DirectAccessLex(q, l); !v.Tractable {
+		return nil, &IntractableError{Verdict: v}
+	}
+	return buildLayered(q, in, l)
+}
+
+// buildLayered builds the structure assuming tractability was already
+// established (on q itself or on an FD-extension).
+func buildLayered(q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error) {
+	full, err := reduce.FreeReduce(q, in)
+	if err != nil {
+		return nil, err
+	}
+	la := &Lex{Query: q, numVars: q.NumVars()}
+
+	if q.IsBoolean() {
+		la.boolean = true
+		la.boolTrue = booleanTrue(full)
+		if la.boolTrue {
+			la.total = 1
+		}
+		la.Completed = order.Lex{}
+		return la, nil
+	}
+
+	completed, err := completeOrder(full, l)
+	if err != nil {
+		return nil, err
+	}
+	la.Completed = completed
+
+	if err := la.buildTree(full, completed); err != nil {
+		return nil, err
+	}
+	la.semijoinReduce()
+	if err := la.computeWeights(); err != nil {
+		return nil, err
+	}
+	return la, nil
+}
+
+// booleanTrue evaluates a Boolean full query: true iff the join of the
+// (already consistent-by-construction?) nodes is non-empty. The nodes of
+// a Boolean reduction have no variables, so the join is non-empty iff
+// every node relation is non-empty.
+func booleanTrue(full *reduce.Full) bool {
+	for _, n := range full.Nodes {
+		if n.Rel.Len() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// completeOrder extends a partial order to all free variables with no
+// disruptive trio (Lemma 4.4), preserving requested directions and
+// defaulting appended variables to ascending.
+func completeOrder(full *reduce.Full, l order.Lex) (order.Lex, error) {
+	h := full.Hypergraph()
+	prefix := make([]int, len(l.Entries))
+	dirs := make(map[cq.VarID]order.Direction, len(l.Entries))
+	for i, e := range l.Entries {
+		prefix[i] = int(e.Var)
+		dirs[e.Var] = e.Dir
+	}
+	var all hypergraph.VSet
+	for _, v := range full.FreeVars() {
+		all |= hypergraph.Bit(int(v))
+	}
+	ids, ok := h.CompleteOrder(prefix, all)
+	if !ok {
+		return order.Lex{}, fmt.Errorf("access: internal: no trio-free completion exists despite tractable classification")
+	}
+	out := order.Lex{Entries: make([]order.LexEntry, len(ids))}
+	for i, id := range ids {
+		v := cq.VarID(id)
+		out.Entries[i] = order.LexEntry{Var: v, Dir: dirs[v]}
+	}
+	return out, nil
+}
+
+// buildTree realizes Lemma 3.9: one layer per completed-order position,
+// each layer's node being the maximal prefix-restricted hyperedge
+// containing the layer variable, attached to an earlier layer containing
+// its key variables.
+func (la *Lex) buildTree(full *reduce.Full, completed order.Lex) error {
+	f := len(completed.Entries)
+	nodeSets := make([]hypergraph.VSet, len(full.Nodes))
+	for i, n := range full.Nodes {
+		nodeSets[i] = n.VarSet()
+	}
+	lexPos := make(map[cq.VarID]int, f)
+	for i, e := range completed.Entries {
+		lexPos[e.Var] = i
+	}
+
+	var prefix hypergraph.VSet
+	layerSets := make([]hypergraph.VSet, 0, f)
+	for i := 0; i < f; i++ {
+		entry := completed.Entries[i]
+		vi := int(entry.Var)
+		prefix |= hypergraph.Bit(vi)
+
+		// Candidate prefix-restricted hyperedges containing v_i, and the
+		// maximal one among them (exists by the absence of trios).
+		best := hypergraph.VSet(0)
+		bestNode := -1
+		for idx, s := range nodeSets {
+			if !hypergraph.Has(s, vi) {
+				continue
+			}
+			cand := s & prefix
+			if hypergraph.Subset(best, cand) {
+				best = cand
+				bestNode = idx
+			}
+		}
+		if bestNode < 0 {
+			return fmt.Errorf("access: internal: free variable %s in no node", la.Query.VarName(entry.Var))
+		}
+		// Verify maximality (the Helly argument of Lemma 3.9 guarantees
+		// it; check defensively).
+		for _, s := range nodeSets {
+			if hypergraph.Has(s, vi) && !hypergraph.Subset(s&prefix, best) {
+				return fmt.Errorf("access: internal: no maximal layer hyperedge at %s (trio slipped through?)",
+					la.Query.VarName(entry.Var))
+			}
+		}
+
+		// Parent: earliest previous layer containing best \ {v_i}.
+		parent := -1
+		need := best &^ hypergraph.Bit(vi)
+		for j := 0; j < i; j++ {
+			if hypergraph.Subset(need, layerSets[j]) {
+				parent = j
+				break
+			}
+		}
+		if i > 0 && parent < 0 {
+			return fmt.Errorf("access: internal: no parent layer for %s", la.Query.VarName(entry.Var))
+		}
+
+		// Key variables: best minus v_i, ordered by lexicographic position.
+		var keyVars []cq.VarID
+		for _, u := range hypergraph.Members(need) {
+			keyVars = append(keyVars, cq.VarID(u))
+		}
+		sort.Slice(keyVars, func(a, b int) bool { return lexPos[keyVars[a]] < lexPos[keyVars[b]] })
+
+		la.layers = append(la.layers, layer{
+			v: entry.Var, dir: entry.Dir, keyVars: keyVars,
+			parent: parent, srcNode: bestNode,
+		})
+		layerSets = append(layerSets, best)
+		if parent >= 0 {
+			la.layers[parent].children = append(la.layers[parent].children, i)
+		}
+	}
+
+	// Inclusion equivalence: every full node must fit inside some layer.
+	for idx, s := range nodeSets {
+		found := false
+		for _, ls := range layerSets {
+			if hypergraph.Subset(s, ls) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("access: internal: node %d not covered by any layer", idx)
+		}
+	}
+
+	// Materialize layer relations: project the source node, then enforce
+	// every full node's constraint on some covering layer.
+	la.rels = make([]*database.Relation, f)
+	for i := range la.layers {
+		ly := &la.layers[i]
+		src := full.Nodes[ly.srcNode]
+		cols := make([]int, 0, len(ly.keyVars)+1)
+		for _, u := range ly.keyVars {
+			cols = append(cols, src.Col(u))
+		}
+		cols = append(cols, src.Col(ly.v))
+		la.rels[i] = src.Rel.Project(cols).Dedup()
+	}
+	for idx, n := range full.Nodes {
+		// Pick the first covering layer and semijoin it with the node.
+		for i := range la.layers {
+			if hypergraph.Subset(nodeSets[idx], layerSets[i]) {
+				lCols, nCols := la.layerCols(i, n)
+				la.rels[i] = la.rels[i].Semijoin(lCols, n.Rel, nCols)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// layerVars returns the column variables of layer i's relation:
+// keyVars..., v.
+func (la *Lex) layerVars(i int) []cq.VarID {
+	ly := &la.layers[i]
+	out := make([]cq.VarID, 0, len(ly.keyVars)+1)
+	out = append(out, ly.keyVars...)
+	out = append(out, ly.v)
+	return out
+}
+
+// layerCols aligns the columns of layer i with the columns of node n for
+// n's variables (n's vars must all be inside the layer).
+func (la *Lex) layerCols(i int, n *reduce.Node) (layerCols, nodeCols []int) {
+	vars := la.layerVars(i)
+	pos := make(map[cq.VarID]int, len(vars))
+	for c, u := range vars {
+		pos[u] = c
+	}
+	for c, u := range n.Vars {
+		layerCols = append(layerCols, pos[u])
+		nodeCols = append(nodeCols, c)
+	}
+	return
+}

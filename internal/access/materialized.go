@@ -1,0 +1,108 @@
+package access
+
+import (
+	"sort"
+
+	"rankedaccess/internal/baseline"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+)
+
+// Materialized is the fallback direct-access structure for (query, order)
+// pairs on the intractable side of the dichotomies: it materializes and
+// sorts the full answer set. Construction costs Θ(|Q(I)|) time and space
+// — which the paper proves cannot be avoided up to polylogarithmic
+// factors for these inputs — and each access costs O(1).
+//
+// It exists so that applications can degrade gracefully: use
+// BuildLex/BuildSum when the classification allows, and fall back to
+// Materialized (accepting the blow-up) otherwise, as discussed in the
+// paper's "Applicability" note (§1) for reductions from harder classes.
+type Materialized struct {
+	// Query is the query whose answers are accessed.
+	Query *cq.Query
+
+	answers []order.Answer
+	weights []float64 // only for SUM materializations
+}
+
+// BuildMaterializedLex materializes Q(I) sorted by the given order
+// (completed deterministically by ascending head components).
+func BuildMaterializedLex(q *cq.Query, in *database.Instance, l order.Lex) *Materialized {
+	return &Materialized{Query: q, answers: baseline.SortedByLex(q, in, l)}
+}
+
+// BuildMaterializedSum materializes Q(I) sorted by total weight.
+func BuildMaterializedSum(q *cq.Query, in *database.Instance, w order.Sum) *Materialized {
+	m := &Materialized{Query: q, answers: baseline.SortedBySum(q, in, w)}
+	m.weights = make([]float64, len(m.answers))
+	for i, a := range m.answers {
+		m.weights[i] = w.AnswerWeight(q, a)
+	}
+	return m
+}
+
+// Total returns |Q(I)|.
+func (m *Materialized) Total() int64 { return int64(len(m.answers)) }
+
+// Access returns the k-th answer in O(1).
+func (m *Materialized) Access(k int64) (order.Answer, error) {
+	if k < 0 || k >= int64(len(m.answers)) {
+		return nil, ErrOutOfBound
+	}
+	return m.answers[k], nil
+}
+
+// WeightAt returns the weight of the k-th answer for SUM
+// materializations (0 for LEX ones).
+func (m *Materialized) WeightAt(k int64) (float64, error) {
+	if k < 0 || k >= int64(len(m.answers)) {
+		return 0, ErrOutOfBound
+	}
+	if m.weights == nil {
+		return 0, nil
+	}
+	return m.weights[k], nil
+}
+
+// Inverted returns the index of the given answer via binary search over
+// the materialized array (O(log n)); LEX materializations only.
+func (m *Materialized) Inverted(a order.Answer, l order.Lex) (int64, error) {
+	lo := sort.Search(len(m.answers), func(i int) bool {
+		return compareFull(m.Query, l, m.answers[i], a) >= 0
+	})
+	for i := lo; i < len(m.answers); i++ {
+		if compareFull(m.Query, l, m.answers[i], a) != 0 {
+			break
+		}
+		if sameOnHead(m.Query, m.answers[i], a) {
+			return int64(i), nil
+		}
+	}
+	return 0, ErrNotAnAnswer
+}
+
+func compareFull(q *cq.Query, l order.Lex, a, b order.Answer) int {
+	if c := l.Compare(a, b); c != 0 {
+		return c
+	}
+	for _, v := range q.Head {
+		if a[v] != b[v] {
+			if a[v] < b[v] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func sameOnHead(q *cq.Query, a, b order.Answer) bool {
+	for _, v := range q.Head {
+		if a[v] != b[v] {
+			return false
+		}
+	}
+	return true
+}

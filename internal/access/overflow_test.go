@@ -1,0 +1,89 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// A Cartesian product of four 2^16-value unary relations has 2^64
+// answers: the counting DP must fail loudly instead of wrapping.
+func TestCountOverflowDetected(t *testing.T) {
+	q := cq.MustParse("Q(a, b, c, d) :- A(a), B(b), C(c), D(d)")
+	in := database.NewInstance()
+	for _, rel := range []string{"A", "B", "C", "D"} {
+		r := database.NewRelation(1)
+		for v := values.Value(0); v < 1<<16; v++ {
+			r.Append(v)
+		}
+		in.SetRelation(rel, r)
+	}
+	l, err := order.ParseLex(q, "a, b, c, d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = BuildLex(q, in, l)
+	if err == nil {
+		t.Fatal("2^64 answers must overflow the int64 counter")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("expected an overflow error, got: %v", err)
+	}
+}
+
+// Just below the edge: 2^60 answers count fine and access works.
+func TestCountNearOverflowOK(t *testing.T) {
+	q := cq.MustParse("Q(a, b, c, d) :- A(a), B(b), C(c), D(d)")
+	in := database.NewInstance()
+	for _, rel := range []string{"A", "B", "C", "D"} {
+		r := database.NewRelation(1)
+		for v := values.Value(0); v < 1<<15; v++ {
+			r.Append(v)
+		}
+		in.SetRelation(rel, r)
+	}
+	l, _ := order.ParseLex(q, "a, b, c, d")
+	la, err := BuildLex(q, in, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Total() != 1<<60 {
+		t.Fatalf("total = %d, want 2^60", la.Total())
+	}
+	// Access deep into the structure.
+	k := int64(1)<<60 - 12345
+	a, err := la.Access(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv, err := la.Inverted(a); err != nil || inv != k {
+		t.Fatalf("Inverted = %d, %v", inv, err)
+	}
+}
+
+// Repeated variables inside an atom flow through the whole access stack.
+func TestRepeatedVariableAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y) :- R(x, x, y)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 1, 7)
+	in.AddRow("R", 1, 2, 8) // filtered: x positions disagree
+	in.AddRow("R", 3, 3, 9)
+	l, _ := order.ParseLex(q, "x, y")
+	la, err := BuildLex(q, in, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Total() != 2 {
+		t.Fatalf("total = %d, want 2", la.Total())
+	}
+	a, _ := la.Access(1)
+	x, _ := q.VarByName("x")
+	y, _ := q.VarByName("y")
+	if a[x] != 3 || a[y] != 9 {
+		t.Fatalf("answer = (%d, %d)", a[x], a[y])
+	}
+}

@@ -1,0 +1,198 @@
+package access
+
+import (
+	"fmt"
+	"sort"
+
+	"rankedaccess/internal/checked"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// semijoinReduce removes dangling tuples across the layered tree: a
+// bottom-up pass filtering parents by children, then a top-down pass
+// filtering children by parents (Yannakakis). Shared variables of a
+// child and its parent are exactly the child's key variables.
+func (la *Lex) semijoinReduce() {
+	f := len(la.layers)
+	// Bottom-up: layers in decreasing index order have children after
+	// parents, so iterating i from f-1 down to 0 and filtering parent by
+	// child visits children first.
+	for i := f - 1; i >= 1; i-- {
+		p := la.layers[i].parent
+		pCols, cCols := la.sharedCols(p, i)
+		la.rels[p] = la.rels[p].Semijoin(pCols, la.rels[i], cCols)
+	}
+	// Top-down.
+	for i := 1; i < f; i++ {
+		p := la.layers[i].parent
+		pCols, cCols := la.sharedCols(p, i)
+		la.rels[i] = la.rels[i].Semijoin(cCols, la.rels[p], pCols)
+	}
+}
+
+// sharedCols returns aligned column indices of the child's key variables
+// in the parent layer relation and in the child layer relation.
+func (la *Lex) sharedCols(parent, child int) (pCols, cCols []int) {
+	pVars := la.layerVars(parent)
+	pos := make(map[cq.VarID]int, len(pVars))
+	for c, u := range pVars {
+		pos[u] = c
+	}
+	for c, u := range la.layers[child].keyVars {
+		pCols = append(pCols, pos[u])
+		cCols = append(cCols, c)
+	}
+	return
+}
+
+// computeWeights bucketizes every layer and runs the subtree-count
+// dynamic program of §3.1: the weight of a tuple is the product over the
+// layer's children of the weight of the child bucket selected by the
+// tuple; starts are prefix sums inside each bucket. The total count is
+// the weight of the root bucket.
+func (la *Lex) computeWeights() error {
+	f := len(la.layers)
+	for i := f - 1; i >= 0; i-- {
+		if err := la.bucketize(i); err != nil {
+			return err
+		}
+	}
+	if f == 0 {
+		return nil
+	}
+	root := &la.layers[0]
+	switch len(root.bucketWeight) {
+	case 0:
+		la.total = 0
+	case 1:
+		la.total = root.bucketWeight[0]
+	default:
+		return fmt.Errorf("access: internal: root layer has %d buckets", len(root.bucketWeight))
+	}
+	return nil
+}
+
+// bucketize groups layer i's tuples into buckets by key value, sorts each
+// bucket by the layer variable under the layer direction, and computes
+// weights and starts (children of i are already bucketized).
+func (la *Lex) bucketize(i int) error {
+	ly := &la.layers[i]
+	rel := la.rels[i]
+	nk := len(ly.keyVars)
+	n := rel.Len()
+
+	// Group rows by key.
+	type row struct {
+		key []values.Value
+		val values.Value
+	}
+	rows := make([]row, n)
+	keyCols := make([]int, nk)
+	for c := range keyCols {
+		keyCols[c] = c
+	}
+	groups := make(map[string][]int, n)
+	var keyBuf []byte
+	orderKeys := make([]string, 0)
+	for t := 0; t < n; t++ {
+		tu := rel.Tuple(t)
+		rows[t] = row{key: append([]values.Value(nil), tu[:nk]...), val: tu[nk]}
+		keyBuf = database.EncodeKey(keyBuf, tu, keyCols)
+		k := string(keyBuf)
+		if _, ok := groups[k]; !ok {
+			orderKeys = append(orderKeys, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+
+	ly.bucketOf = make(map[string]int, len(groups))
+	for _, k := range orderKeys {
+		idxs := groups[k]
+		// Sort bucket members by value under the layer direction.
+		sort.Slice(idxs, func(a, b int) bool {
+			av, bv := rows[idxs[a]].val, rows[idxs[b]].val
+			if ly.dir == order.Desc {
+				return av > bv
+			}
+			return av < bv
+		})
+		b := len(ly.bucketStart)
+		ly.bucketOf[k] = b
+		ly.bucketStart = append(ly.bucketStart, len(ly.vals))
+		ly.bucketKeys = append(ly.bucketKeys, rows[idxs[0]].key)
+		bucketSum := checked.NewCounter(0)
+		for _, t := range idxs {
+			w, err := la.tupleWeight(i, rows[t].key, rows[t].val)
+			if err != nil {
+				return err
+			}
+			ly.starts = append(ly.starts, bucketSum.Value())
+			ly.vals = append(ly.vals, rows[t].val)
+			ly.weights = append(ly.weights, w)
+			bucketSum.Add(w)
+		}
+		if err := bucketSum.Err(); err != nil {
+			return fmt.Errorf("access: counting answers: %w", err)
+		}
+		ly.bucketEnd = append(ly.bucketEnd, len(ly.vals))
+		ly.bucketWeight = append(ly.bucketWeight, bucketSum.Value())
+	}
+	return nil
+}
+
+// tupleWeight multiplies the weights of the child buckets selected by a
+// tuple of layer i (key values plus the layer-variable value).
+func (la *Lex) tupleWeight(i int, key []values.Value, val values.Value) (int64, error) {
+	ly := &la.layers[i]
+	w := checked.NewCounter(1)
+	for _, c := range ly.children {
+		child := &la.layers[c]
+		b, ok := la.childBucket(ly, child, key, val)
+		if !ok {
+			return 0, fmt.Errorf("access: internal: missing child bucket after reduction (layer %d -> %d)", i, c)
+		}
+		w.Mul(child.bucketWeight[b])
+	}
+	if err := w.Err(); err != nil {
+		return 0, fmt.Errorf("access: counting answers: %w", err)
+	}
+	return w.Value(), nil
+}
+
+// childBucket resolves the bucket of a child layer selected by a parent
+// tuple: each child key variable is either the parent's layer variable or
+// one of the parent's key variables.
+func (la *Lex) childBucket(parent, child *layer, key []values.Value, val values.Value) (int, bool) {
+	var buf []byte
+	for _, u := range child.keyVars {
+		var v values.Value
+		if u == parent.v {
+			v = val
+		} else {
+			found := false
+			for c, pu := range parent.keyVars {
+				if pu == u {
+					v = key[c]
+					found = true
+					break
+				}
+			}
+			if !found {
+				return 0, false
+			}
+		}
+		buf = appendVal(buf, v)
+	}
+	b, ok := child.bucketOf[string(buf)]
+	return b, ok
+}
+
+func appendVal(buf []byte, v values.Value) []byte {
+	u := uint64(v)
+	return append(buf,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

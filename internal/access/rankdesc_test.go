@@ -1,0 +1,54 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankedaccess/internal/baseline"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// Rank with mixed ascending/descending components, against the oracle —
+// including probes that are not answers (the NextGE path).
+func TestRankDescendingAgainstOracle(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	orders := []string{"x desc, y, z", "y desc, z desc, x", "z, y desc"}
+	rng := rand.New(rand.NewSource(91))
+	for _, ord := range orders {
+		l, err := order.ParseLex(q, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			in := randomInstance(q, rng, 6, 3)
+			la, err := BuildLex(q, in, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sorted := baseline.SortedByLex(q, in, la.Completed)
+			for probe := 0; probe < 25; probe++ {
+				a := make(order.Answer, q.NumVars())
+				for _, v := range q.Head {
+					a[v] = values.Value(rng.Intn(4))
+				}
+				wantRank := 0
+				exactWant := false
+				for _, s := range sorted {
+					c := la.Completed.Compare(s, a)
+					if c < 0 {
+						wantRank++
+					} else if c == 0 {
+						exactWant = true
+					}
+				}
+				gotRank, gotExact := la.Rank(a)
+				if int64(wantRank) != gotRank || exactWant != gotExact {
+					t.Fatalf("⟨%s⟩ trial %d: Rank = (%d, %v), oracle (%d, %v)",
+						ord, trial, gotRank, gotExact, wantRank, exactWant)
+				}
+			}
+		}
+	}
+}

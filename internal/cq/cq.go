@@ -1,0 +1,248 @@
+// Package cq models conjunctive queries (CQs).
+//
+// A CQ has the form
+//
+//	Q(x, z) :- R(x, y), S(y, z)
+//
+// with a head listing the free variables and a body of atoms over a
+// relational schema. Variables are interned per query as small integer
+// ids so that downstream machinery (hypergraphs, join trees, orders) can
+// use bitsets.
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxVars bounds the number of distinct variables in a query. Queries are
+// constant-size in the paper's complexity model; 64 lets variable sets be
+// single-word bitsets.
+const MaxVars = 64
+
+// VarID identifies a variable within one Query (dense, starting at 0).
+type VarID int
+
+// Atom is one relational atom R(x1, ..., xk) of a query body.
+type Atom struct {
+	// Rel is the relation symbol.
+	Rel string
+	// Vars lists the variables in positional order. A variable may appear
+	// more than once (e.g. R(x, x)).
+	Vars []VarID
+}
+
+// Query is a conjunctive query.
+type Query struct {
+	// Name is the head symbol (often "Q").
+	Name string
+	// Head lists the free variables in head order.
+	Head []VarID
+	// Atoms is the query body.
+	Atoms []Atom
+
+	varNames []string
+	varIDs   map[string]VarID
+}
+
+// NewQuery returns an empty query with the given head symbol. Variables
+// are added with Var, atoms with AddAtom, and the head with SetHead.
+func NewQuery(name string) *Query {
+	return &Query{Name: name, varIDs: make(map[string]VarID)}
+}
+
+// Var interns a variable name and returns its id.
+func (q *Query) Var(name string) VarID {
+	if id, ok := q.varIDs[name]; ok {
+		return id
+	}
+	if len(q.varNames) >= MaxVars {
+		panic(fmt.Sprintf("cq: more than %d variables", MaxVars))
+	}
+	id := VarID(len(q.varNames))
+	q.varIDs[name] = id
+	q.varNames = append(q.varNames, name)
+	return id
+}
+
+// VarByName returns the id of a previously interned variable.
+func (q *Query) VarByName(name string) (VarID, bool) {
+	id, ok := q.varIDs[name]
+	return id, ok
+}
+
+// VarName returns the name of variable v.
+func (q *Query) VarName(v VarID) string {
+	if int(v) < 0 || int(v) >= len(q.varNames) {
+		return fmt.Sprintf("?%d", v)
+	}
+	return q.varNames[v]
+}
+
+// NumVars returns the number of distinct variables.
+func (q *Query) NumVars() int { return len(q.varNames) }
+
+// AddAtom appends an atom with the given relation symbol and variable
+// names (interning new names).
+func (q *Query) AddAtom(rel string, varNames ...string) {
+	vars := make([]VarID, len(varNames))
+	for i, n := range varNames {
+		vars[i] = q.Var(n)
+	}
+	q.Atoms = append(q.Atoms, Atom{Rel: rel, Vars: vars})
+}
+
+// SetHead declares the free variables by name. Every head variable must
+// occur in some atom; Validate enforces this.
+func (q *Query) SetHead(varNames ...string) {
+	q.Head = q.Head[:0]
+	for _, n := range varNames {
+		q.Head = append(q.Head, q.Var(n))
+	}
+}
+
+// Free returns the set of free variables as a bitset.
+func (q *Query) Free() uint64 {
+	var s uint64
+	for _, v := range q.Head {
+		s |= 1 << uint(v)
+	}
+	return s
+}
+
+// AllVars returns the set of all variables occurring in atoms.
+func (q *Query) AllVars() uint64 {
+	var s uint64
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			s |= 1 << uint(v)
+		}
+	}
+	return s
+}
+
+// AtomVars returns the set of variables of atom i.
+func (q *Query) AtomVars(i int) uint64 {
+	var s uint64
+	for _, v := range q.Atoms[i].Vars {
+		s |= 1 << uint(v)
+	}
+	return s
+}
+
+// EdgeSets returns one bitset of variables per atom, in atom order.
+func (q *Query) EdgeSets() []uint64 {
+	out := make([]uint64, len(q.Atoms))
+	for i := range q.Atoms {
+		out[i] = q.AtomVars(i)
+	}
+	return out
+}
+
+// IsFull reports whether every variable is free.
+func (q *Query) IsFull() bool { return q.Free() == q.AllVars() }
+
+// IsBoolean reports whether the query has no free variables.
+func (q *Query) IsBoolean() bool { return len(q.Head) == 0 }
+
+// IsSelfJoinFree reports whether no relation symbol repeats in the body.
+func (q *Query) IsSelfJoinFree() bool {
+	seen := make(map[string]struct{}, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if _, ok := seen[a.Rel]; ok {
+			return false
+		}
+		seen[a.Rel] = struct{}{}
+	}
+	return true
+}
+
+// HasRepeatedVarInAtom reports whether some atom mentions a variable at
+// two positions (e.g. R(x, x)).
+func (q *Query) HasRepeatedVarInAtom() bool {
+	for _, a := range q.Atoms {
+		seen := uint64(0)
+		for _, v := range a.Vars {
+			bit := uint64(1) << uint(v)
+			if seen&bit != 0 {
+				return true
+			}
+			seen |= bit
+		}
+	}
+	return false
+}
+
+// Validate checks structural well-formedness: at least one atom, head
+// variables occur in the body, and no duplicate head variables.
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("cq: query %s has no atoms", q.Name)
+	}
+	body := q.AllVars()
+	seen := uint64(0)
+	for _, v := range q.Head {
+		bit := uint64(1) << uint(v)
+		if body&bit == 0 {
+			return fmt.Errorf("cq: head variable %s does not occur in the body", q.VarName(v))
+		}
+		if seen&bit != 0 {
+			return fmt.Errorf("cq: head variable %s repeats", q.VarName(v))
+		}
+		seen |= bit
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	c := NewQuery(q.Name)
+	c.varNames = append([]string(nil), q.varNames...)
+	for n, id := range q.varIDs {
+		c.varIDs[n] = id
+	}
+	c.Head = append([]VarID(nil), q.Head...)
+	c.Atoms = make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		c.Atoms[i] = Atom{Rel: a.Rel, Vars: append([]VarID(nil), a.Vars...)}
+	}
+	return c
+}
+
+// String renders the query in the parseable text form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Name)
+	b.WriteByte('(')
+	for i, v := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(q.VarName(v))
+	}
+	b.WriteString(") :- ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Rel)
+		b.WriteByte('(')
+		for j, v := range a.Vars {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(q.VarName(v))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// VarNamesOf maps a slice of ids to names.
+func (q *Query) VarNamesOf(vars []VarID) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = q.VarName(v)
+	}
+	return out
+}

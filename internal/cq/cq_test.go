@@ -1,0 +1,145 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTwoPath(t *testing.T) {
+	q, err := Parse("Q(x, y, z) :- R(x, y), S(y, z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || len(q.Head) != 3 || len(q.Atoms) != 2 {
+		t.Fatalf("unexpected structure: %v", q)
+	}
+	if !q.IsFull() {
+		t.Fatal("full query misclassified")
+	}
+	if !q.IsSelfJoinFree() {
+		t.Fatal("self-join-free query misclassified")
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	q := MustParse("Q(x, z) :- R(x, y), S(y, z).")
+	if q.IsFull() {
+		t.Fatal("projection query misclassified as full")
+	}
+	if q.IsBoolean() {
+		t.Fatal("non-Boolean query misclassified")
+	}
+	y, ok := q.VarByName("y")
+	if !ok {
+		t.Fatal("y must be interned")
+	}
+	if q.Free()&(1<<uint(y)) != 0 {
+		t.Fatal("y must be existential")
+	}
+}
+
+func TestParseBoolean(t *testing.T) {
+	q := MustParse("Q() :- R(x, y), S(y, x)")
+	if !q.IsBoolean() {
+		t.Fatal("Boolean query misclassified")
+	}
+}
+
+func TestParseSelfJoin(t *testing.T) {
+	q := MustParse("Q(x, y, z) :- R(x, y), R(y, z)")
+	if q.IsSelfJoinFree() {
+		t.Fatal("self-join not detected")
+	}
+}
+
+func TestParseRepeatedVarInAtom(t *testing.T) {
+	q := MustParse("Q(x) :- R(x, x)")
+	if !q.HasRepeatedVarInAtom() {
+		t.Fatal("repeated variable in atom not detected")
+	}
+	q2 := MustParse("Q(x, y) :- R(x, y)")
+	if q2.HasRepeatedVarInAtom() {
+		t.Fatal("false positive repeated variable")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x)",
+		"Q(x) : R(x)",
+		"Q(x) :- ",
+		"Q(x) :- R(x,)",
+		"Q(x) :- R(x) extra",
+		"Q(x) :- R(y)",      // head var not in body
+		"Q(x, x) :- R(x)",   // duplicate head var
+		"Q(1x) :- R(1x)",    // bad identifier
+		"Q(x) :- R(x), (y)", // missing relation symbol
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"Q(x, y, z) :- R(x, y), S(y, z)",
+		"Q(x, z) :- R(x, y), S(y, z)",
+		"Q() :- R(x)",
+		"Visits_Cases(person, age, city, date, #cases) :- Visits(person, age, city), Cases(city, date, #cases)",
+	}
+	for _, in := range inputs {
+		q := MustParse(in)
+		q2 := MustParse(q.String())
+		if q2.String() != q.String() {
+			t.Errorf("round trip changed: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestEdgeSets(t *testing.T) {
+	q := MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	es := q.EdgeSets()
+	x, _ := q.VarByName("x")
+	y, _ := q.VarByName("y")
+	z, _ := q.VarByName("z")
+	if es[0] != (1<<uint(x))|(1<<uint(y)) {
+		t.Fatalf("edge 0 = %b", es[0])
+	}
+	if es[1] != (1<<uint(y))|(1<<uint(z)) {
+		t.Fatalf("edge 1 = %b", es[1])
+	}
+	if q.AllVars() != es[0]|es[1] {
+		t.Fatal("AllVars mismatch")
+	}
+}
+
+func TestClone(t *testing.T) {
+	q := MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	c := q.Clone()
+	c.AddAtom("T", "z", "w")
+	c.SetHead("x")
+	if len(q.Atoms) != 2 || len(q.Head) != 2 {
+		t.Fatal("clone mutated original")
+	}
+	if _, ok := q.VarByName("w"); ok {
+		t.Fatal("clone shared variable table")
+	}
+}
+
+func TestVarNamesOf(t *testing.T) {
+	q := MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	names := q.VarNamesOf(q.Head)
+	if strings.Join(names, ",") != "x,z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestValidateNoAtoms(t *testing.T) {
+	q := NewQuery("Q")
+	if err := q.Validate(); err == nil {
+		t.Fatal("query with no atoms must be invalid")
+	}
+}

@@ -1,0 +1,148 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual CQ form, e.g.
+//
+//	Q(x, z) :- R(x, y), S(y, z)
+//
+// A trailing period is allowed. Head and atom argument lists may be empty
+// (Boolean queries, nullary relations). Identifiers are letters, digits,
+// underscores and '#', starting with a letter, underscore or '#'.
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("cq: parse %q: %w", input, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed catalogs.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("head symbol: %w", err)
+	}
+	q := NewQuery(name)
+	headVars, err := p.argList()
+	if err != nil {
+		return nil, fmt.Errorf("head: %w", err)
+	}
+	p.skipSpace()
+	if !p.literal(":-") {
+		return nil, p.errf("expected ':-'")
+	}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, fmt.Errorf("atom: %w", err)
+		}
+		args, err := p.argList()
+		if err != nil {
+			return nil, fmt.Errorf("atom %s: %w", rel, err)
+		}
+		q.AddAtom(rel, args...)
+		p.skipSpace()
+		if !p.literal(",") {
+			break
+		}
+	}
+	p.skipSpace()
+	p.literal(".")
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	// Head variables are interned after the body so that unknown head
+	// variables are detected by Validate rather than silently added...
+	// except interning is what defines them. Intern now; Validate checks
+	// occurrence in the body.
+	q.SetHead(headVars...)
+	return q, nil
+}
+
+func (p *parser) argList() ([]string, error) {
+	p.skipSpace()
+	if !p.literal("(") {
+		return nil, p.errf("expected '('")
+	}
+	var args []string
+	p.skipSpace()
+	if p.literal(")") {
+		return args, nil
+	}
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, id)
+		p.skipSpace()
+		if p.literal(")") {
+			return args, nil
+		}
+		if !p.literal(",") {
+			return nil, p.errf("expected ',' or ')'")
+		}
+	}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) literal(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '#' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(p.src[p.pos]) {
+		return "", p.errf("expected identifier")
+	}
+	for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,239 @@
+// Package database provides relations and database instances.
+//
+// Tuples are stored flat (one []int64 backing array per relation, arity
+// stride) so scans are cache-friendly and per-tuple allocation is avoided.
+// All values are dictionary-encoded (see internal/values).
+package database
+
+import (
+	"fmt"
+	"sort"
+
+	"rankedaccess/internal/values"
+)
+
+// Relation is a bag of fixed-arity tuples of dictionary-encoded values.
+type Relation struct {
+	arity int
+	data  []values.Value
+}
+
+// NewRelation returns an empty relation of the given arity. Arity 0 is
+// allowed (a nullary relation holds zero or more empty tuples and acts as
+// a Boolean).
+func NewRelation(arity int) *Relation {
+	if arity < 0 {
+		panic("database: negative arity")
+	}
+	return &Relation{arity: arity}
+}
+
+// FromRows builds a relation from row slices (all must share one length).
+func FromRows(rows [][]values.Value) *Relation {
+	if len(rows) == 0 {
+		panic("database: FromRows needs at least one row to infer arity; use NewRelation")
+	}
+	r := NewRelation(len(rows[0]))
+	for _, row := range rows {
+		r.Append(row...)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if r.arity == 0 {
+		return len(r.data) // nullary: we store one sentinel value per tuple
+	}
+	return len(r.data) / r.arity
+}
+
+// Append adds one tuple.
+func (r *Relation) Append(tuple ...values.Value) {
+	if len(tuple) != r.arity {
+		panic(fmt.Sprintf("database: append arity %d to relation of arity %d", len(tuple), r.arity))
+	}
+	if r.arity == 0 {
+		r.data = append(r.data, 0)
+		return
+	}
+	r.data = append(r.data, tuple...)
+}
+
+// Tuple returns a read-only view of tuple i (do not mutate or retain
+// across appends).
+func (r *Relation) Tuple(i int) []values.Value {
+	if r.arity == 0 {
+		return nil
+	}
+	return r.data[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	return &Relation{arity: r.arity, data: append([]values.Value(nil), r.data...)}
+}
+
+// Project returns a new relation with the given columns, in order.
+// Duplicates are kept; use Dedup afterwards for set semantics.
+func (r *Relation) Project(cols []int) *Relation {
+	out := NewRelation(len(cols))
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		t := r.Tuple(i)
+		row := make([]values.Value, len(cols))
+		for j, c := range cols {
+			row[j] = t[c]
+		}
+		out.data = append(out.data, row...)
+	}
+	if len(cols) == 0 {
+		out.data = make([]values.Value, n)
+	}
+	return out
+}
+
+// Dedup removes duplicate tuples (order not preserved).
+func (r *Relation) Dedup() *Relation {
+	out := NewRelation(r.arity)
+	if r.arity == 0 {
+		if r.Len() > 0 {
+			out.data = []values.Value{0}
+		}
+		return out
+	}
+	seen := make(map[string]struct{}, r.Len())
+	var key []byte
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		t := r.Tuple(i)
+		key = encodeTuple(key[:0], t)
+		if _, ok := seen[string(key)]; ok {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out.data = append(out.data, t...)
+	}
+	return out
+}
+
+// Filter returns the tuples satisfying pred.
+func (r *Relation) Filter(pred func(t []values.Value) bool) *Relation {
+	out := NewRelation(r.arity)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		t := r.Tuple(i)
+		if pred(t) {
+			if r.arity == 0 {
+				out.data = append(out.data, 0)
+			} else {
+				out.data = append(out.data, t...)
+			}
+		}
+	}
+	return out
+}
+
+// SortBy sorts tuples in place with the given comparator over tuples.
+func (r *Relation) SortBy(less func(a, b []values.Value) bool) {
+	if r.arity == 0 {
+		return
+	}
+	n := r.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return less(r.Tuple(idx[i]), r.Tuple(idx[j]))
+	})
+	sorted := make([]values.Value, 0, len(r.data))
+	for _, i := range idx {
+		sorted = append(sorted, r.Tuple(i)...)
+	}
+	r.data = sorted
+}
+
+// SortLex sorts tuples in place by columnwise ascending value order.
+func (r *Relation) SortLex() {
+	r.SortBy(func(a, b []values.Value) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	})
+}
+
+// Semijoin keeps the tuples of r whose projection onto cols appears in
+// the projection of s onto sCols. cols and sCols must have equal length.
+func (r *Relation) Semijoin(cols []int, s *Relation, sCols []int) *Relation {
+	if len(cols) != len(sCols) {
+		panic("database: semijoin column count mismatch")
+	}
+	if len(cols) == 0 {
+		// Degenerate: keep all of r iff s is non-empty.
+		if s.Len() > 0 {
+			return r.Clone()
+		}
+		return NewRelation(r.arity)
+	}
+	set := make(map[string]struct{}, s.Len())
+	var key []byte
+	sn := s.Len()
+	for i := 0; i < sn; i++ {
+		t := s.Tuple(i)
+		key = key[:0]
+		for _, c := range sCols {
+			key = encodeValue(key, t[c])
+		}
+		set[string(key)] = struct{}{}
+	}
+	return r.Filter(func(t []values.Value) bool {
+		key = key[:0]
+		for _, c := range cols {
+			key = encodeValue(key, t[c])
+		}
+		_, ok := set[string(key)]
+		return ok
+	})
+}
+
+// Rows materializes all tuples (for tests and small outputs).
+func (r *Relation) Rows() [][]values.Value {
+	n := r.Len()
+	out := make([][]values.Value, n)
+	for i := 0; i < n; i++ {
+		out[i] = append([]values.Value(nil), r.Tuple(i)...)
+	}
+	return out
+}
+
+// encodeValue appends a fixed-width big-endian encoding of v to key.
+func encodeValue(key []byte, v values.Value) []byte {
+	u := uint64(v)
+	return append(key,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// encodeTuple appends the encoding of all values of t to key.
+func encodeTuple(key []byte, t []values.Value) []byte {
+	for _, v := range t {
+		key = encodeValue(key, v)
+	}
+	return key
+}
+
+// EncodeKey returns a hashable key for the given columns of tuple t.
+func EncodeKey(buf []byte, t []values.Value, cols []int) []byte {
+	buf = buf[:0]
+	for _, c := range cols {
+		buf = encodeValue(buf, t[c])
+	}
+	return buf
+}

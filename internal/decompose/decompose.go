@@ -1,0 +1,199 @@
+// Package decompose implements the paper's "Applicability" note (§1):
+// cyclic CQs can be reduced to acyclic ones by a hypertree-style
+// decomposition, paying a non-linear (here: up to n^w for group size w)
+// overhead during preprocessing, after which every direct-access and
+// selection algorithm in this repository applies.
+//
+// The decomposition groups the atoms into bags of bounded size,
+// materializes the join of each bag (projected onto the variables that
+// matter outside the bag), and rewrites the query over the bag relations.
+// Bags are chosen by exhaustive search over atom partitions (queries are
+// constant-size), preferring rewrites that are free-connex, then acyclic.
+package decompose
+
+import (
+	"fmt"
+
+	"rankedaccess/internal/baseline"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/hypergraph"
+	"rankedaccess/internal/values"
+)
+
+// Result is a decomposed query: an acyclic rewrite over materialized bag
+// relations, answer-equivalent to the original query.
+type Result struct {
+	// Query is the rewritten CQ. It shares variable ids with the input
+	// query, so answers are interchangeable.
+	Query *cq.Query
+	// Instance holds the materialized bag relations.
+	Instance *database.Instance
+	// Groups records which original atom indices each bag contains.
+	Groups [][]int
+}
+
+// MakeAcyclic rewrites (q, in) into an acyclic equivalent by grouping at
+// most maxGroup atoms per bag. It returns an error when no grouping of
+// that width yields an acyclic query. Already-acyclic queries come back
+// with singleton bags (and no materialization beyond projections).
+//
+// Materializing a bag of g atoms costs up to O(n^g) time and space — the
+// non-linear overhead the paper refers to.
+func MakeAcyclic(q *cq.Query, in *database.Instance, maxGroup int) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if maxGroup < 1 {
+		return nil, fmt.Errorf("decompose: maxGroup must be ≥ 1")
+	}
+	free := q.Free()
+	m := len(q.Atoms)
+
+	// Enumerate partitions of {0..m-1} into groups of size ≤ maxGroup and
+	// score the induced hypergraph. Score 2: free-connex; 1: acyclic;
+	// 0: unusable. Prefer higher score, then fewer materialized bags.
+	var best [][]int
+	bestScore := 0
+	var partition [][]int
+	var rec func(next int)
+	evaluate := func() {
+		edges := make([]hypergraph.VSet, len(partition))
+		for gi, group := range partition {
+			var vars hypergraph.VSet
+			for _, ai := range group {
+				vars |= q.AtomVars(ai)
+			}
+			edges[gi] = projectedVars(q, partition, gi, vars, free)
+		}
+		h := hypergraph.New(edges)
+		score := 0
+		if h.Acyclic() {
+			score = 1
+			if h.SConnex(free) {
+				score = 2
+			}
+		}
+		if score > bestScore || (score == bestScore && score > 0 && len(partition) > len(best)) {
+			// More groups = smaller bags = cheaper materialization.
+			best = clonePartition(partition)
+			bestScore = score
+		}
+	}
+	rec = func(next int) {
+		if next == m {
+			evaluate()
+			return
+		}
+		// Put atom `next` into an existing group or a new one.
+		for gi := range partition {
+			if len(partition[gi]) < maxGroup {
+				partition[gi] = append(partition[gi], next)
+				rec(next + 1)
+				partition[gi] = partition[gi][:len(partition[gi])-1]
+			}
+		}
+		partition = append(partition, []int{next})
+		rec(next + 1)
+		partition = partition[:len(partition)-1]
+	}
+	rec(0)
+
+	if bestScore == 0 {
+		return nil, fmt.Errorf("decompose: no acyclic grouping of width ≤ %d exists for %s", maxGroup, q.Name)
+	}
+
+	// Materialize the chosen bags.
+	out := &Result{Groups: best, Instance: database.NewInstance()}
+	rq := q.Clone()
+	rq.Atoms = nil
+	for gi, group := range best {
+		var vars hypergraph.VSet
+		for _, ai := range group {
+			vars |= q.AtomVars(ai)
+		}
+		keep := projectedVars(q, best, gi, vars, free)
+		rel, keptVars, err := materializeBag(q, in, group, keep)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("bag_%d", gi)
+		names := make([]string, len(keptVars))
+		for i, v := range keptVars {
+			names[i] = q.VarName(v)
+		}
+		rq.AddAtom(name, names...)
+		out.Instance.SetRelation(name, rel)
+	}
+	out.Query = rq
+	if err := rq.Validate(); err != nil {
+		return nil, fmt.Errorf("decompose: internal: %w", err)
+	}
+	return out, nil
+}
+
+func clonePartition(p [][]int) [][]int {
+	out := make([][]int, len(p))
+	for i, g := range p {
+		out[i] = append([]int(nil), g...)
+	}
+	return out
+}
+
+// projectedVars returns the bag's variables that matter outside the bag:
+// free variables and variables shared with other bags. Purely local
+// existential variables are projected away during materialization.
+func projectedVars(q *cq.Query, partition [][]int, gi int, vars hypergraph.VSet, free uint64) hypergraph.VSet {
+	var outside hypergraph.VSet
+	for gj, group := range partition {
+		if gj == gi {
+			continue
+		}
+		for _, ai := range group {
+			outside |= q.AtomVars(ai)
+		}
+	}
+	return vars & (hypergraph.VSet(free) | outside)
+}
+
+// materializeBag joins the bag's atoms and projects onto keep.
+func materializeBag(q *cq.Query, in *database.Instance, group []int, keep hypergraph.VSet) (*database.Relation, []cq.VarID, error) {
+	sub := cq.NewQuery("bag")
+	for _, ai := range group {
+		atom := q.Atoms[ai]
+		names := make([]string, len(atom.Vars))
+		for i, v := range atom.Vars {
+			names[i] = q.VarName(v)
+		}
+		sub.AddAtom(atom.Rel, names...)
+	}
+	var keptNames []string
+	var keptVars []cq.VarID
+	for _, v := range hypergraph.Members(keep) {
+		keptNames = append(keptNames, q.VarName(cq.VarID(v)))
+		keptVars = append(keptVars, cq.VarID(v))
+	}
+	sub.SetHead(keptNames...)
+	if err := sub.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("decompose: bag: %w", err)
+	}
+	// Check the bag's relations exist (AllAnswers treats missing ones as
+	// empty, which would silently produce an empty bag).
+	for _, atom := range sub.Atoms {
+		if in.Relation(atom.Rel) == nil {
+			return nil, nil, fmt.Errorf("decompose: instance lacks relation %s", atom.Rel)
+		}
+	}
+	answers := baseline.AllAnswers(sub, in)
+	rel := database.NewRelation(len(keptVars))
+	row := make([]values.Value, len(keptVars))
+	for _, a := range answers {
+		for i := range keptVars {
+			// sub shares variable names with q but has its own ids.
+			id, _ := sub.VarByName(q.VarName(keptVars[i]))
+			row[i] = a[id]
+		}
+		rel.Append(row...)
+	}
+	return rel, keptVars, nil
+}

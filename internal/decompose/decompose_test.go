@@ -1,0 +1,220 @@
+package decompose
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/baseline"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+func triangleInstance(rng *rand.Rand, n, dom int) *database.Instance {
+	in := database.NewInstance()
+	for i := 0; i < n; i++ {
+		in.AddRow("R", values.Value(rng.Intn(dom)), values.Value(rng.Intn(dom)))
+		in.AddRow("S", values.Value(rng.Intn(dom)), values.Value(rng.Intn(dom)))
+		in.AddRow("T", values.Value(rng.Intn(dom)), values.Value(rng.Intn(dom)))
+	}
+	return in
+}
+
+func canonical(q *cq.Query, answers []order.Answer) []string {
+	out := make([]string, 0, len(answers))
+	for _, a := range answers {
+		s := ""
+		for _, v := range q.Head {
+			s += "|"
+			s += string(rune(a[v] + 1000))
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestTriangleDecomposition(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	rng := rand.New(rand.NewSource(1))
+	in := triangleInstance(rng, 60, 8)
+	res, err := MakeAcyclic(q, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewrite must be answer-equivalent.
+	got := canonical(q, baseline.AllAnswers(res.Query, res.Instance))
+	want := canonical(q, baseline.AllAnswers(q, in))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decomposed answers differ:\n got %v\nwant %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no triangles; raise density")
+	}
+}
+
+// End to end: direct access BY LEX on a cyclic query after decomposition.
+func TestTriangleDirectAccess(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	rng := rand.New(rand.NewSource(2))
+	in := triangleInstance(rng, 80, 6)
+	res, err := MakeAcyclic(q, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := order.ParseLex(res.Query, "x, y, z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := access.BuildLex(res.Query, res.Instance, l)
+	if err != nil {
+		t.Fatalf("decomposed triangle must admit direct access: %v", err)
+	}
+	oracle := baseline.SortedByLex(q, in, la.Completed)
+	if la.Total() != int64(len(oracle)) {
+		t.Fatalf("total = %d, oracle %d", la.Total(), len(oracle))
+	}
+	for k := int64(0); k < la.Total(); k++ {
+		a, err := la.Access(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range q.Head {
+			rv, _ := res.Query.VarByName(q.VarName(v))
+			if a[rv] != oracle[k][v] {
+				t.Fatalf("answer #%d differs at %s", k, q.VarName(v))
+			}
+		}
+	}
+}
+
+func TestFourCycle(t *testing.T) {
+	q := cq.MustParse("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)")
+	rng := rand.New(rand.NewSource(3))
+	in := database.NewInstance()
+	for i := 0; i < 50; i++ {
+		for _, rel := range []string{"R", "S", "T", "U"} {
+			in.AddRow(rel, values.Value(rng.Intn(5)), values.Value(rng.Intn(5)))
+		}
+	}
+	res, err := MakeAcyclic(q, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonical(q, baseline.AllAnswers(res.Query, res.Instance))
+	want := canonical(q, baseline.AllAnswers(q, in))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("4-cycle decomposition changed the answers")
+	}
+}
+
+func TestAcyclicPassthrough(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("S", 2, 3)
+	res, err := MakeAcyclic(q, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefer the cheapest grouping: singletons.
+	if len(res.Groups) != 2 {
+		t.Fatalf("acyclic query should keep singleton bags, got %v", res.Groups)
+	}
+	got := canonical(q, baseline.AllAnswers(res.Query, res.Instance))
+	want := canonical(q, baseline.AllAnswers(q, in))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("passthrough changed the answers")
+	}
+}
+
+func TestProjectionOfLocalExistentials(t *testing.T) {
+	// u is local to the bag {T}: the bag relation must not carry it.
+	q := cq.MustParse("Q(x, y) :- R(x, y), T(y, u)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("T", 2, 7)
+	in.AddRow("T", 2, 8)
+	res, err := MakeAcyclic(q, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, atom := range res.Query.Atoms {
+		for _, v := range atom.Vars {
+			if res.Query.VarName(v) == "u" {
+				t.Fatal("local existential variable survived decomposition")
+			}
+		}
+	}
+	if got := baseline.Count(res.Query, res.Instance); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestWidthTooSmall(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("S", 2, 3)
+	in.AddRow("T", 3, 1)
+	if _, err := MakeAcyclic(q, in, 1); err == nil {
+		t.Fatal("width-1 grouping of the triangle must fail")
+	}
+	if _, err := MakeAcyclic(q, in, 0); err == nil {
+		t.Fatal("maxGroup 0 must fail")
+	}
+}
+
+func TestMissingRelation(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	if _, err := MakeAcyclic(q, in, 2); err == nil {
+		t.Fatal("missing relations must be reported")
+	}
+}
+
+// Random property test: decomposition preserves answers for a catalog of
+// cyclic queries.
+func TestDecomposePreservesAnswersRandom(t *testing.T) {
+	catalog := []string{
+		"Q(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+		"Q(x, z) :- R(x, y), S(y, z), T(z, x)",
+		"Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)",
+		"Q(a, c) :- R(a, b), S(b, c), T(c, a), W(b)",
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, src := range catalog {
+		q := cq.MustParse(src)
+		for trial := 0; trial < 15; trial++ {
+			in := database.NewInstance()
+			for _, atom := range q.Atoms {
+				if in.Relation(atom.Rel) != nil {
+					continue
+				}
+				in.SetRelation(atom.Rel, database.NewRelation(len(atom.Vars)))
+				rows := rng.Intn(10)
+				for r := 0; r < rows; r++ {
+					row := make([]values.Value, len(atom.Vars))
+					for c := range row {
+						row[c] = values.Value(rng.Intn(4))
+					}
+					in.AddRow(atom.Rel, row...)
+				}
+			}
+			res, err := MakeAcyclic(q, in, 2)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			got := canonical(q, baseline.AllAnswers(res.Query, res.Instance))
+			want := canonical(q, baseline.AllAnswers(q, in))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d: answers differ", src, trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment tables must be well-formed and internally consistent at
+// small scales (the bench harness runs them at large scales).
+
+func checkTable(t *testing.T, tb Table, wantRows int) {
+	t.Helper()
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tb.Title, len(tb.Rows), wantRows)
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Header) {
+			t.Fatalf("%s: ragged row %v", tb.Title, r)
+		}
+	}
+	out := tb.Render()
+	if !strings.Contains(out, tb.Header[0]) {
+		t.Fatalf("render missing header: %s", out)
+	}
+}
+
+func TestTheorem33(t *testing.T) {
+	tb := Theorem33([]int{200, 400}, 50, 7)
+	checkTable(t, tb, 2)
+	// The answer count must be positive for this workload.
+	if n, _ := strconv.Atoi(tb.Rows[0][1]); n <= 0 {
+		t.Fatalf("no answers: %v", tb.Rows[0])
+	}
+}
+
+func TestTheorem41(t *testing.T) {
+	checkTable(t, Theorem41([]int{100, 200}, 50, 7), 2)
+}
+
+func TestTheorem51(t *testing.T) {
+	checkTable(t, Theorem51([]int{200, 400}, 50, 7), 2)
+}
+
+func TestTheorem61(t *testing.T) {
+	checkTable(t, Theorem61([]int{200, 400}, 7), 2)
+}
+
+func TestTheorem73(t *testing.T) {
+	checkTable(t, Theorem73([]int{150, 300}, 7), 2)
+}
+
+func TestFig8Hardness(t *testing.T) {
+	tb := Fig8Hardness([]int{50, 100}, 7)
+	checkTable(t, tb, 2)
+	// Example 5.3 instances have exactly n² answers.
+	if got := tb.Rows[0][3]; got != "2500" {
+		t.Fatalf("alpha2 answers = %s, want 2500", got)
+	}
+	if got := tb.Rows[1][3]; got != "10000" {
+		t.Fatalf("alpha2 answers = %s, want 10000", got)
+	}
+}
+
+func TestRankedEnumContrast(t *testing.T) {
+	checkTable(t, RankedEnumContrast([]int{150, 300}, 10, 7), 2)
+}
+
+func TestFDRescue(t *testing.T) {
+	tb := FDRescue([]int{200, 400}, 50, 7)
+	checkTable(t, tb, 2)
+	if n, _ := strconv.Atoi(tb.Rows[0][1]); n <= 0 {
+		t.Fatalf("FD rescue produced no answers: %v", tb.Rows[0])
+	}
+}
+
+func TestEpidemic(t *testing.T) {
+	checkTable(t, Epidemic([]int{300}, 7), 1)
+}
+
+func TestTriangleDecomposition(t *testing.T) {
+	checkTable(t, TriangleDecomposition([]int{100, 200}, 7), 2)
+}
+
+func TestUnionAccess(t *testing.T) {
+	tb := UnionAccess([]int{200, 400}, 7)
+	checkTable(t, tb, 2)
+	if n, _ := strconv.Atoi(tb.Rows[0][1]); n <= 0 {
+		t.Fatalf("union produced no answers: %v", tb.Rows[0])
+	}
+}

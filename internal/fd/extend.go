@@ -1,0 +1,210 @@
+package fd
+
+import (
+	"fmt"
+
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/values"
+)
+
+// Extension is the FD-extension (Q⁺, Δ⁺) of a query with FDs
+// (Definition 8.2), plus the replay log needed to build the extended
+// database instance of the exact reduction (Lemma 8.5).
+type Extension struct {
+	// Query is Q⁺. It shares variable ids with the original query.
+	Query *cq.Query
+	// FDs is Δ⁺.
+	FDs Set
+	// NewFree lists variables that became free in Q⁺ but were existential
+	// in Q (extension step 2), in the order they were promoted.
+	NewFree []cq.VarID
+	// PromoSrc records, aligned with NewFree, the FD whose source variable
+	// determines each promoted variable.
+	PromoSrc []FD
+	// steps records atom-widening operations (extension step 1) in order.
+	steps []extendStep
+}
+
+type extendStep struct {
+	atom   int      // index into Query.Atoms
+	x, y   cq.VarID // FD x → y used to widen the atom
+	srcRel string   // original relation holding the (x, y) mapping
+}
+
+// Extend computes the FD-extension of q under the unary FDs fds
+// (Definition 8.2): while some FD R: x → y applies to an atom S that
+// contains x but not y, widen S with y and add S: x → y; while some FD
+// has a free source and an existential target, promote the target to the
+// head.
+func Extend(q *cq.Query, fds Set) *Extension {
+	ext := &Extension{Query: q.Clone(), FDs: append(Set(nil), fds...)}
+	qp := ext.Query
+	for changed := true; changed; {
+		changed = false
+		// Step 1: widen atoms.
+		for _, f := range ext.FDs {
+			for i := range qp.Atoms {
+				av := qp.AtomVars(i)
+				if av&(1<<uint(f.From)) != 0 && av&(1<<uint(f.To)) == 0 {
+					qp.Atoms[i].Vars = append(qp.Atoms[i].Vars, f.To)
+					ext.steps = append(ext.steps, extendStep{atom: i, x: f.From, y: f.To, srcRel: f.SrcRel})
+					nf := FD{Rel: qp.Atoms[i].Rel, From: f.From, To: f.To, SrcRel: f.SrcRel}
+					if !ext.FDs.contains(nf) {
+						ext.FDs = append(ext.FDs, nf)
+					}
+					changed = true
+				}
+			}
+		}
+		// Step 2: promote implied existential variables to the head.
+		free := qp.Free()
+		for _, f := range ext.FDs {
+			if free&(1<<uint(f.From)) != 0 && free&(1<<uint(f.To)) == 0 {
+				qp.Head = append(qp.Head, f.To)
+				ext.NewFree = append(ext.NewFree, f.To)
+				ext.PromoSrc = append(ext.PromoSrc, f)
+				free |= 1 << uint(f.To)
+				changed = true
+			}
+		}
+	}
+	return ext
+}
+
+// ExtendInstance builds the instance I⁺ for Q⁺ from an instance I of the
+// original query, replaying the atom-widening steps: each new column y of
+// an atom is filled by looking up y from x in the original source
+// relation of the FD. Tuples whose x value has no image are dropped
+// (they cannot participate in any answer because the source relation
+// joins on x). The FDs must hold on I; use Set.Check first.
+func (e *Extension) ExtendInstance(q *cq.Query, in *database.Instance) (*database.Instance, error) {
+	if !q.IsSelfJoinFree() {
+		return nil, fmt.Errorf("fd: instance extension requires a self-join-free query (copy relations to fresh symbols first)")
+	}
+	out := database.NewInstance()
+	out.Dict = in.Dict
+	// Copy relations mentioned by the query (widened atoms of the same
+	// relation symbol replay cumulatively below).
+	for i := range e.Query.Atoms {
+		rel := e.Query.Atoms[i].Rel
+		if out.Relation(rel) == nil {
+			src := in.Relation(rel)
+			if src == nil {
+				return nil, fmt.Errorf("fd: instance lacks relation %s", rel)
+			}
+			out.SetRelation(rel, src.Clone())
+		}
+	}
+	for _, st := range e.steps {
+		atom := e.Query.Atoms[st.atom]
+		src := in.Relation(st.srcRel)
+		if src == nil {
+			return nil, fmt.Errorf("fd: instance lacks source relation %s", st.srcRel)
+		}
+		srcAtom := atomByRel(q, st.srcRel)
+		if srcAtom == nil {
+			return nil, fmt.Errorf("fd: query lacks source atom %s", st.srcRel)
+		}
+		xCol, yCol := colOf(srcAtom, st.x), colOf(srcAtom, st.y)
+		if xCol < 0 || yCol < 0 {
+			return nil, fmt.Errorf("fd: source %s lacks %s or %s", st.srcRel,
+				q.VarName(st.x), q.VarName(st.y))
+		}
+		mapping := make(map[values.Value]values.Value, src.Len())
+		for i := 0; i < src.Len(); i++ {
+			t := src.Tuple(i)
+			if prev, ok := mapping[t[xCol]]; ok && prev != t[yCol] {
+				return nil, fmt.Errorf("fd: %s violates %s -> %s", st.srcRel,
+					q.VarName(st.x), q.VarName(st.y))
+			}
+			mapping[t[xCol]] = t[yCol]
+		}
+		// Widen the target relation: it currently has one column per
+		// variable position of the atom *before* this step. The step's y
+		// was appended at position len(vars at the time); since we replay
+		// steps in order, that is always the current arity.
+		target := out.Relation(atom.Rel)
+		// The x column position inside the (current) target relation is
+		// the first occurrence of x in the atom's variable list.
+		xPos := -1
+		for pos, v := range atom.Vars {
+			if v == st.x && pos < target.Arity() {
+				xPos = pos
+				break
+			}
+		}
+		if xPos < 0 {
+			return nil, fmt.Errorf("fd: internal: x column not found replaying step")
+		}
+		widened := database.NewRelation(target.Arity() + 1)
+		rowBuf := make([]values.Value, target.Arity()+1)
+		for i := 0; i < target.Len(); i++ {
+			t := target.Tuple(i)
+			y, ok := mapping[t[xPos]]
+			if !ok {
+				continue // dangling on x; cannot join with the source
+			}
+			copy(rowBuf, t)
+			rowBuf[target.Arity()] = y
+			widened.Append(rowBuf...)
+		}
+		out.SetRelation(atom.Rel, widened)
+	}
+	return out, nil
+}
+
+// AnswerExtender returns a function mapping an answer of Q (assignments
+// to q's free variables, VarID-indexed) to the corresponding answer of
+// Q⁺ by filling in the promoted variables from the FD source relations of
+// the original instance. The bool result is false when some promoted
+// value cannot be resolved, i.e. the tuple is not an answer of Q.
+func (e *Extension) AnswerExtender(q *cq.Query, in *database.Instance) (func([]values.Value) ([]values.Value, bool), error) {
+	type promo struct {
+		from, to cq.VarID
+		mapping  map[values.Value]values.Value
+	}
+	promos := make([]promo, 0, len(e.NewFree))
+	for i, y := range e.NewFree {
+		f := e.PromoSrc[i]
+		src := in.Relation(f.SrcRel)
+		srcAtom := atomByRel(q, f.SrcRel)
+		if src == nil || srcAtom == nil {
+			return nil, fmt.Errorf("fd: missing source relation %s", f.SrcRel)
+		}
+		xCol, yCol := colOf(srcAtom, f.From), colOf(srcAtom, f.To)
+		if xCol < 0 || yCol < 0 {
+			return nil, fmt.Errorf("fd: source %s lacks the FD columns", f.SrcRel)
+		}
+		m := make(map[values.Value]values.Value, src.Len())
+		for t := 0; t < src.Len(); t++ {
+			row := src.Tuple(t)
+			m[row[xCol]] = row[yCol]
+		}
+		promos = append(promos, promo{from: f.From, to: y, mapping: m})
+	}
+	return func(a []values.Value) ([]values.Value, bool) {
+		out := append([]values.Value(nil), a...)
+		ok := true
+		for _, p := range promos {
+			v, found := p.mapping[out[p.from]]
+			if !found {
+				ok = false
+				continue
+			}
+			out[p.to] = v
+		}
+		return out, ok
+	}, nil
+}
+
+// ProjectAnswer maps an answer of Q⁺ back to an answer of Q (the
+// bijection of the exact reduction): answers are VarID-indexed, so the
+// projection just zeroes slots that are not free in Q.
+func ProjectAnswer(q *cq.Query, a []values.Value) []values.Value {
+	out := make([]values.Value, len(a))
+	for _, v := range q.Head {
+		out[v] = a[v]
+	}
+	return out
+}

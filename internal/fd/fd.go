@@ -1,0 +1,194 @@
+// Package fd implements unary functional dependencies and the paper's §8
+// machinery: FD-extensions of queries (Definition 8.2), the FD-reordered
+// lexicographic order (Definition 8.13), and the corresponding instance
+// transformation (the weight/lex-preserving exact reduction of
+// Lemma 8.5 / Theorem 8.8).
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/values"
+)
+
+// FD is a unary functional dependency R: From → To, expressed over query
+// variables (§8 "Concepts and Notation"). SrcRel names the original
+// relation whose data witnesses the dependency; for FDs derived during
+// the extension it keeps pointing at the original source so instance
+// extension can read the mapping from un-extended data.
+type FD struct {
+	Rel    string
+	From   cq.VarID
+	To     cq.VarID
+	SrcRel string
+}
+
+// Set is a list of unary FDs.
+type Set []FD
+
+// Parse parses one FD in the form "R: x -> y" (multiple targets
+// "R: x -> y, z" expand to multiple FDs). Variables must exist in q and
+// occur in the atom named R.
+func Parse(q *cq.Query, s string) (Set, error) {
+	colon := strings.Index(s, ":")
+	arrow := strings.Index(s, "->")
+	if colon < 0 || arrow < colon {
+		return nil, fmt.Errorf("fd: want \"R: x -> y\", got %q", s)
+	}
+	rel := strings.TrimSpace(s[:colon])
+	lhs := strings.TrimSpace(s[colon+1 : arrow])
+	rhs := strings.TrimSpace(s[arrow+2:])
+	if strings.ContainsAny(lhs, ", \t") {
+		return nil, fmt.Errorf("fd: only unary FDs are supported, got left side %q", lhs)
+	}
+	var atomVars uint64
+	found := false
+	for i, a := range q.Atoms {
+		if a.Rel == rel {
+			atomVars |= q.AtomVars(i)
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("fd: no atom with relation %s", rel)
+	}
+	from, ok := q.VarByName(lhs)
+	if !ok || atomVars&(1<<uint(from)) == 0 {
+		return nil, fmt.Errorf("fd: variable %q does not occur in %s", lhs, rel)
+	}
+	var out Set
+	for _, tgt := range strings.FieldsFunc(rhs, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		to, ok := q.VarByName(tgt)
+		if !ok || atomVars&(1<<uint(to)) == 0 {
+			return nil, fmt.Errorf("fd: variable %q does not occur in %s", tgt, rel)
+		}
+		out = append(out, FD{Rel: rel, From: from, To: to, SrcRel: rel})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fd: no target variables in %q", s)
+	}
+	return out, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(q *cq.Query, s string) Set {
+	fds, err := Parse(q, s)
+	if err != nil {
+		panic(err)
+	}
+	return fds
+}
+
+// Render formats the set using q's variable names.
+func (s Set) Render(q *cq.Query) string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = fmt.Sprintf("%s: %s -> %s", f.Rel, q.VarName(f.From), q.VarName(f.To))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// contains reports whether the set already holds an FD with the same
+// relation, source and target (SrcRel ignored).
+func (s Set) contains(f FD) bool {
+	for _, g := range s {
+		if g.Rel == f.Rel && g.From == f.From && g.To == f.To {
+			return true
+		}
+	}
+	return false
+}
+
+// ImpliedBy returns, for each variable, the set of variables transitively
+// implied by it (excluding itself), at the variable level: x implies y if
+// some FD has From=x, To=y. Returned as bitsets indexed by variable id.
+func (s Set) ImpliedBy(numVars int) []uint64 {
+	direct := make([]uint64, numVars)
+	for _, f := range s {
+		if f.From != f.To {
+			direct[f.From] |= 1 << uint(f.To)
+		}
+	}
+	// Transitive closure (tiny graphs; cubic is fine).
+	closed := append([]uint64(nil), direct...)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < numVars; v++ {
+			next := closed[v]
+			for rest := closed[v]; rest != 0; {
+				u := trailing(rest)
+				rest &^= 1 << uint(u)
+				next |= closed[u]
+			}
+			next &^= 1 << uint(v)
+			if next != closed[v] {
+				closed[v] = next
+				changed = true
+			}
+		}
+	}
+	return closed
+}
+
+func trailing(s uint64) int {
+	for i := 0; i < 64; i++ {
+		if s&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Check verifies that instance in satisfies every FD of s over query q.
+func (s Set) Check(q *cq.Query, in *database.Instance) error {
+	for _, f := range s {
+		atom := atomByRel(q, f.Rel)
+		if atom == nil {
+			return fmt.Errorf("fd: relation %s not in query", f.Rel)
+		}
+		rel := in.Relation(f.Rel)
+		if rel == nil {
+			continue // empty relation vacuously satisfies
+		}
+		fromCol, toCol := colOf(atom, f.From), colOf(atom, f.To)
+		if fromCol < 0 || toCol < 0 {
+			return fmt.Errorf("fd: %s does not mention both variables of %s -> %s",
+				f.Rel, q.VarName(f.From), q.VarName(f.To))
+		}
+		seen := make(map[values.Value]values.Value, rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			t := rel.Tuple(i)
+			if prev, ok := seen[t[fromCol]]; ok {
+				if prev != t[toCol] {
+					return fmt.Errorf("fd: %s violates %s -> %s at %s=%d",
+						f.Rel, q.VarName(f.From), q.VarName(f.To), q.VarName(f.From), t[fromCol])
+				}
+			} else {
+				seen[t[fromCol]] = t[toCol]
+			}
+		}
+	}
+	return nil
+}
+
+func atomByRel(q *cq.Query, rel string) *cq.Atom {
+	for i := range q.Atoms {
+		if q.Atoms[i].Rel == rel {
+			return &q.Atoms[i]
+		}
+	}
+	return nil
+}
+
+// colOf returns the first column position of v in the atom, or -1.
+func colOf(a *cq.Atom, v cq.VarID) int {
+	for i, u := range a.Vars {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,59 @@
+package fd
+
+import (
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/order"
+)
+
+// ReorderLex computes the FD-reordered lexicographic order L⁺ of
+// Definition 8.13 for the extension: scanning L left to right, after each
+// variable insert all variables it transitively implies (that are free in
+// Q⁺), consecutively. Variables already later in L are pulled forward
+// (keeping their relative order and direction); variables not in L are
+// inserted with ascending direction in variable-id order. By Lemma 8.16,
+// ordering Q⁺(I⁺) by L⁺ coincides with ordering by L.
+func (e *Extension) ReorderLex(l order.Lex) order.Lex {
+	implied := e.FDs.ImpliedBy(e.Query.NumVars())
+	free := e.Query.Free()
+
+	entries := append([]order.LexEntry(nil), l.Entries...)
+	inOrder := make(map[cq.VarID]bool, len(entries))
+	for _, en := range entries {
+		inOrder[en.Var] = true
+	}
+
+	for i := 0; i < len(entries); i++ {
+		v := entries[i].Var
+		want := implied[v] & free
+		if want == 0 {
+			continue
+		}
+		// Collect implied entries: those already present keep their
+		// relative order and direction; missing ones are appended asc in
+		// id order.
+		var pulled []order.LexEntry
+		rest := make([]order.LexEntry, 0, len(entries))
+		rest = append(rest, entries[:i+1]...)
+		for _, en := range entries[i+1:] {
+			if want&(1<<uint(en.Var)) != 0 {
+				pulled = append(pulled, en)
+				want &^= 1 << uint(en.Var)
+			} else {
+				rest = append(rest, en)
+			}
+		}
+		for u := 0; u < e.Query.NumVars(); u++ {
+			if want&(1<<uint(u)) != 0 && !inOrder[cq.VarID(u)] {
+				pulled = append(pulled, order.LexEntry{Var: cq.VarID(u)})
+				inOrder[cq.VarID(u)] = true
+			}
+		}
+		// Splice: prefix (incl. v), pulled, remainder.
+		out := make([]order.LexEntry, 0, len(rest)+len(pulled))
+		out = append(out, rest[:i+1]...)
+		out = append(out, pulled...)
+		out = append(out, rest[i+1:]...)
+		entries = out
+	}
+	return order.Lex{Entries: entries}
+}

@@ -1,0 +1,130 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// MaxIndependent must agree with exhaustive subset enumeration.
+func TestMaxIndependentBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		nv := 1 + rng.Intn(6)
+		ne := 1 + rng.Intn(5)
+		edges := make([]VSet, ne)
+		for i := range edges {
+			for edges[i] == 0 {
+				edges[i] = VSet(rng.Int63()) & (Bit(nv) - 1)
+			}
+		}
+		h := New(edges)
+		candidates := VSet(rng.Int63()) & h.Vertices()
+		got := Card(h.MaxIndependent(candidates))
+		// Brute force over all subsets of candidates.
+		best := 0
+		members := Members(candidates)
+		for mask := 0; mask < 1<<uint(len(members)); mask++ {
+			var set VSet
+			for i, v := range members {
+				if mask&(1<<uint(i)) != 0 {
+					set |= Bit(v)
+				}
+			}
+			ok := true
+			for _, e := range edges {
+				if Card(e&set) > 1 {
+					ok = false
+					break
+				}
+			}
+			if ok && Card(set) > best {
+				best = Card(set)
+			}
+		}
+		if got != best {
+			t.Fatalf("edges=%v cand=%b: MaxIndependent=%d brute=%d", edges, candidates, got, best)
+		}
+	}
+}
+
+// MH must agree with a direct definition-based computation.
+func TestMHBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 2000; trial++ {
+		nv := 1 + rng.Intn(6)
+		ne := 1 + rng.Intn(6)
+		edges := make([]VSet, ne)
+		for i := range edges {
+			edges[i] = VSet(rng.Int63()) & (Bit(nv) - 1) // empty edges allowed
+		}
+		h := New(edges)
+		got := h.MH()
+		// Definition: count distinct non-empty edges not strictly
+		// contained in another edge.
+		distinct := map[VSet]bool{}
+		for _, e := range edges {
+			if e != 0 {
+				distinct[e] = true
+			}
+		}
+		want := 0
+		for e := range distinct {
+			maximal := true
+			for f := range distinct {
+				if e != f && Subset(e, f) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("edges=%v: MH=%d brute=%d", edges, got, want)
+		}
+	}
+}
+
+// The disruptive-trio finder must agree with the cubic definition scan.
+func TestDisruptiveTrioBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		nv := 2 + rng.Intn(5)
+		ne := 1 + rng.Intn(4)
+		edges := make([]VSet, ne)
+		for i := range edges {
+			for edges[i] == 0 {
+				edges[i] = VSet(rng.Int63()) & (Bit(nv) - 1)
+			}
+		}
+		h := New(edges)
+		verts := Members(h.Vertices())
+		if len(verts) < 3 {
+			continue
+		}
+		// Random order over a random subset.
+		order := append([]int(nil), verts...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		order = order[:1+rng.Intn(len(order))]
+		_, found := h.FindDisruptiveTrio(order)
+		// Brute force per Definition 3.2.
+		want := false
+		for k := 0; k < len(order); k++ {
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					if i == j {
+						continue
+					}
+					v1, v2, v3 := order[i], order[j], order[k]
+					if !h.AreNeighbors(v1, v2) && h.AreNeighbors(v1, v3) && h.AreNeighbors(v2, v3) {
+						want = true
+					}
+				}
+			}
+		}
+		if found != want {
+			t.Fatalf("edges=%v order=%v: found=%v brute=%v", edges, order, found, want)
+		}
+	}
+}

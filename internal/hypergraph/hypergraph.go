@@ -1,0 +1,121 @@
+package hypergraph
+
+// Hypergraph is a multiset of hyperedges over vertices 0..63. The i-th
+// edge typically corresponds to the i-th atom of a query.
+type Hypergraph struct {
+	Edges []VSet
+}
+
+// New returns a hypergraph with the given edges (the slice is copied).
+func New(edges []VSet) Hypergraph {
+	return Hypergraph{Edges: append([]VSet(nil), edges...)}
+}
+
+// Vertices returns the set of all vertices.
+func (h Hypergraph) Vertices() VSet { return UnionAll(h.Edges) }
+
+// WithEdge returns a copy of h with one extra edge appended.
+func (h Hypergraph) WithEdge(e VSet) Hypergraph {
+	out := New(h.Edges)
+	out.Edges = append(out.Edges, e)
+	return out
+}
+
+// Restrict returns the hypergraph {e ∩ s : e ∈ h} (empty intersections
+// kept, so edge indices still line up with h's).
+func (h Hypergraph) Restrict(s VSet) Hypergraph {
+	out := Hypergraph{Edges: make([]VSet, len(h.Edges))}
+	for i, e := range h.Edges {
+		out.Edges[i] = e & s
+	}
+	return out
+}
+
+// Neighbors returns for each vertex the set of its neighbors (vertices
+// co-occurring in some edge), excluding the vertex itself.
+func (h Hypergraph) Neighbors() [64]VSet {
+	var nb [64]VSet
+	for _, e := range h.Edges {
+		for _, v := range Members(e) {
+			nb[v] |= e &^ Bit(v)
+		}
+	}
+	return nb
+}
+
+// AreNeighbors reports whether u and v share an edge (or u == v).
+func (h Hypergraph) AreNeighbors(u, v int) bool {
+	if u == v {
+		return true
+	}
+	uv := Bit(u) | Bit(v)
+	for _, e := range h.Edges {
+		if Subset(uv, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaximalEdges returns the indices of the ⊆-maximal distinct edge sets.
+// Duplicate edge sets count once (the first index is reported), matching
+// the paper's definition of mh over hyperedge *sets*.
+func (h Hypergraph) MaximalEdges() []int {
+	var out []int
+	for i, e := range h.Edges {
+		if e == 0 {
+			continue
+		}
+		maximal := true
+		for j, f := range h.Edges {
+			if i == j {
+				continue
+			}
+			if e != f && Subset(e, f) {
+				maximal = false
+				break
+			}
+			if e == f && j < i {
+				maximal = false // duplicate set; keep only first
+				break
+			}
+		}
+		if maximal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MH returns mh(h): the number of maximal distinct hyperedges. An
+// all-empty hypergraph has mh 0.
+func (h Hypergraph) MH() int { return len(h.MaximalEdges()) }
+
+// MaxIndependent returns a maximum independent subset of candidates: a
+// largest set of vertices no two of which share an edge. Exponential in
+// the candidate count in the worst case, which is fine for constant-size
+// queries (this computes α_free from Definition 5.2).
+func (h Hypergraph) MaxIndependent(candidates VSet) VSet {
+	nb := h.Neighbors()
+	var best VSet
+	var rec func(rest, chosen VSet)
+	rec = func(rest, chosen VSet) {
+		if Card(chosen)+Card(rest) <= Card(best) {
+			return
+		}
+		if rest == 0 {
+			if Card(chosen) > Card(best) {
+				best = chosen
+			}
+			return
+		}
+		v := Members(rest)[0]
+		rest &^= Bit(v)
+		// Branch 1: take v, removing its neighbors from consideration.
+		rec(rest&^nb[v], chosen|Bit(v))
+		// Branch 2: skip v.
+		rec(rest, chosen)
+	}
+	rec(candidates, 0)
+	return best
+}

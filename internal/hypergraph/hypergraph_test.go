@@ -1,0 +1,355 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// e builds an edge from vertex ids.
+func e(vs ...int) VSet {
+	var s VSet
+	for _, v := range vs {
+		s |= Bit(v)
+	}
+	return s
+}
+
+func TestVSetBasics(t *testing.T) {
+	s := e(0, 3, 5)
+	if Card(s) != 3 || !Has(s, 3) || Has(s, 1) {
+		t.Fatal("vset ops broken")
+	}
+	if !reflect.DeepEqual(Members(s), []int{0, 3, 5}) {
+		t.Fatalf("Members = %v", Members(s))
+	}
+	if !Subset(e(0, 5), s) || Subset(e(0, 1), s) {
+		t.Fatal("Subset broken")
+	}
+}
+
+func TestAcyclicPath(t *testing.T) {
+	// R(x0,x1), S(x1,x2), T(x2,x3): acyclic chain.
+	h := New([]VSet{e(0, 1), e(1, 2), e(2, 3)})
+	if !h.Acyclic() {
+		t.Fatal("path query must be acyclic")
+	}
+	tree, ok := h.GYO()
+	if !ok {
+		t.Fatal("GYO must succeed")
+	}
+	if !tree.RunningIntersection() {
+		t.Fatal("GYO tree violates running intersection")
+	}
+}
+
+func TestCyclicTriangle(t *testing.T) {
+	h := New([]VSet{e(0, 1), e(1, 2), e(2, 0)})
+	if h.Acyclic() {
+		t.Fatal("triangle must be cyclic")
+	}
+}
+
+func TestTriangleWithCoveringEdgeIsAcyclic(t *testing.T) {
+	h := New([]VSet{e(0, 1), e(1, 2), e(2, 0), e(0, 1, 2)})
+	if !h.Acyclic() {
+		t.Fatal("covered triangle is acyclic")
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	h := New([]VSet{e(0, 1), e(2, 3)})
+	tree, ok := h.GYO()
+	if !ok {
+		t.Fatal("cartesian product must be acyclic")
+	}
+	if !tree.RunningIntersection() {
+		t.Fatal("running intersection on components")
+	}
+	if tree.Root() == -1 {
+		t.Fatal("tree must have a root")
+	}
+}
+
+func TestCyclicPlusSeparateComponent(t *testing.T) {
+	h := New([]VSet{e(0, 1), e(1, 2), e(2, 0), e(4, 5)})
+	if h.Acyclic() {
+		t.Fatal("triangle plus extra component must still be cyclic")
+	}
+}
+
+func TestSConnexTwoPath(t *testing.T) {
+	// Q(x,z) :- R(x,y), S(y,z): classic non-free-connex query.
+	h := New([]VSet{e(0, 1), e(1, 2)})
+	if h.SConnex(e(0, 2)) {
+		t.Fatal("{x,z} must not be connex for the 2-path")
+	}
+	if !h.SConnex(e(0, 1, 2)) {
+		t.Fatal("full variable set must be connex")
+	}
+	if !h.SConnex(e(0, 1)) {
+		t.Fatal("{x,y} is an atom and must be connex")
+	}
+	if !h.SConnex(e(2, 1)) {
+		t.Fatal("{y,z} is an atom and must be connex")
+	}
+	if !h.SConnex(0) {
+		t.Fatal("empty set must be connex for acyclic hypergraphs")
+	}
+}
+
+func TestSPathCertificate(t *testing.T) {
+	h := New([]VSet{e(0, 1), e(1, 2)})
+	p := h.FindSPath(e(0, 2))
+	if p == nil {
+		t.Fatal("expected S-path for non-connex set")
+	}
+	if len(p) < 3 || p[0] == p[len(p)-1] {
+		t.Fatalf("malformed S-path %v", p)
+	}
+	if !Has(e(0, 2), p[0]) || !Has(e(0, 2), p[len(p)-1]) {
+		t.Fatalf("endpoints must be in S: %v", p)
+	}
+	for _, z := range p[1 : len(p)-1] {
+		if Has(e(0, 2), z) {
+			t.Fatalf("middle vertices must avoid S: %v", p)
+		}
+	}
+	if q := h.FindSPath(e(0, 1, 2)); q != nil {
+		t.Fatalf("connex set must have no S-path, got %v", q)
+	}
+}
+
+// SConnexity via GYO must agree with absence of S-paths on random
+// acyclic hypergraphs (the paper's two characterizations, §2.1).
+func TestSConnexAgreesWithSPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		nv := 2 + rng.Intn(5)
+		ne := 1 + rng.Intn(4)
+		edges := make([]VSet, ne)
+		for i := range edges {
+			for edges[i] == 0 {
+				edges[i] = VSet(rng.Int63()) & (Bit(nv) - 1)
+			}
+		}
+		h := New(edges)
+		if !h.Acyclic() {
+			continue
+		}
+		s := VSet(rng.Int63()) & h.Vertices()
+		connex := h.SConnex(s)
+		path := h.FindSPath(s)
+		if connex && path != nil {
+			t.Fatalf("edges=%v S=%b: connex but found S-path %v", edges, s, path)
+		}
+		if !connex && path == nil {
+			t.Fatalf("edges=%v S=%b: not connex but no S-path found", edges, s)
+		}
+	}
+}
+
+// Whenever GYO succeeds, the resulting tree must satisfy the running
+// intersection property and contain every original edge.
+func TestGYOTreeIsJoinTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	succeeded := 0
+	for trial := 0; trial < 5000; trial++ {
+		nv := 2 + rng.Intn(6)
+		ne := 1 + rng.Intn(5)
+		edges := make([]VSet, ne)
+		for i := range edges {
+			for edges[i] == 0 {
+				edges[i] = VSet(rng.Int63()) & (Bit(nv) - 1)
+			}
+		}
+		h := New(edges)
+		tree, ok := h.GYO()
+		if !ok {
+			continue
+		}
+		succeeded++
+		if !tree.RunningIntersection() {
+			t.Fatalf("edges=%v: GYO tree violates running intersection (parents %v)", edges, tree.Parent)
+		}
+		roots := 0
+		for _, p := range tree.Parent {
+			if p == -1 {
+				roots++
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("edges=%v: tree has %d roots", edges, roots)
+		}
+	}
+	if succeeded < 500 {
+		t.Fatalf("too few acyclic samples (%d) for the property to be meaningful", succeeded)
+	}
+}
+
+func TestMaximalEdges(t *testing.T) {
+	// Example 7.2: Q(x,z,w) :- R(x,y), S(y,z), T(z,w), U(x).
+	// mh = 3 (U ⊆ R); restricted to free {x,z,w}: fmh = 2.
+	x, y, z, w := 0, 1, 2, 3
+	h := New([]VSet{e(x, y), e(y, z), e(z, w), e(x)})
+	if got := h.MH(); got != 3 {
+		t.Fatalf("mh = %d, want 3", got)
+	}
+	free := e(x, z, w)
+	if got := h.Restrict(free).MH(); got != 2 {
+		t.Fatalf("fmh = %d, want 2", got)
+	}
+}
+
+func TestMHDuplicateEdges(t *testing.T) {
+	h := New([]VSet{e(0, 1), e(0, 1)})
+	if got := h.MH(); got != 1 {
+		t.Fatalf("duplicate edges must count once, mh = %d", got)
+	}
+}
+
+func TestMaxIndependent(t *testing.T) {
+	// 3-path R(x,y), S(y,z), T(z,u): α over all = 2 ({x,z} or {y,u} or {x,u}).
+	h := New([]VSet{e(0, 1), e(1, 2), e(2, 3)})
+	got := h.MaxIndependent(e(0, 1, 2, 3))
+	if Card(got) != 2 {
+		t.Fatalf("α = %d, want 2", Card(got))
+	}
+	// Example 5.3: Q(x,y,z) :- R(x,y), S(y,z), T(z,u); free {x,y,z}: α_free = 2.
+	if got := h.MaxIndependent(e(0, 1, 2)); Card(got) != 2 {
+		t.Fatalf("α_free = %d, want 2", Card(got))
+	}
+	// Cartesian product of three unary atoms: α = 3.
+	h3 := New([]VSet{e(0), e(1), e(2)})
+	if got := h3.MaxIndependent(e(0, 1, 2)); Card(got) != 3 {
+		t.Fatalf("α = %d, want 3", Card(got))
+	}
+}
+
+func TestDisruptiveTrioExample31(t *testing.T) {
+	// Q(v1,v2,v3) :- R(v1,v3), S(v3,v2) with L = ⟨v1,v2,v3⟩:
+	// v1,v2 non-neighbors, v3 neighbors both and comes last → trio.
+	v1, v2, v3 := 0, 1, 2
+	h := New([]VSet{e(v1, v3), e(v3, v2)})
+	trio, found := h.FindDisruptiveTrio([]int{v1, v2, v3})
+	if !found {
+		t.Fatal("expected disruptive trio")
+	}
+	if trio.V3 != v3 {
+		t.Fatalf("trio = %+v, want v3 last", trio)
+	}
+	// Order ⟨v1,v3,v2⟩ has no trio.
+	if _, found := h.FindDisruptiveTrio([]int{v1, v3, v2}); found {
+		t.Fatal("⟨v1,v3,v2⟩ must be trio-free")
+	}
+	// Partial order ⟨v1,v2⟩ has no trio (v3 has no position).
+	if _, found := h.FindDisruptiveTrio([]int{v1, v2}); found {
+		t.Fatal("partial order without v3 must be trio-free")
+	}
+}
+
+func TestChordlessPath4(t *testing.T) {
+	// 3-path has a chordless 4-path x-y-z-u.
+	h := New([]VSet{e(0, 1), e(1, 2), e(2, 3)})
+	p := h.FindChordlessPath4()
+	if p == nil {
+		t.Fatal("expected chordless 4-path in the 3-path query")
+	}
+	// 2-path has none.
+	h2 := New([]VSet{e(0, 1), e(1, 2)})
+	if p := h2.FindChordlessPath4(); p != nil {
+		t.Fatalf("2-path must have no chordless 4-path, got %v", p)
+	}
+	// One covering atom: none.
+	h1 := New([]VSet{e(0, 1, 2, 3)})
+	if p := h1.FindChordlessPath4(); p != nil {
+		t.Fatalf("single atom must have no chordless 4-path, got %v", p)
+	}
+}
+
+func TestCompleteOrderBasic(t *testing.T) {
+	// 2-path, prefix ⟨z,y⟩ (Example 4.2 tractable case): must complete.
+	x, y, z := 0, 1, 2
+	h := New([]VSet{e(x, y), e(y, z)})
+	order, ok := h.CompleteOrder([]int{z, y}, e(x, y, z))
+	if !ok {
+		t.Fatal("⟨z,y⟩ must be completable")
+	}
+	if len(order) != 3 || order[0] != z || order[1] != y {
+		t.Fatalf("completion must preserve prefix, got %v", order)
+	}
+	if _, found := h.FindDisruptiveTrio(order); found {
+		t.Fatalf("completed order %v has a trio", order)
+	}
+}
+
+func TestCompleteOrderRejectsTrioPrefix(t *testing.T) {
+	// ⟨x,z,y⟩ on the 2-path has a trio already; not completable.
+	x, y, z := 0, 1, 2
+	h := New([]VSet{e(x, y), e(y, z)})
+	if _, ok := h.CompleteOrder([]int{x, z, y}, e(x, y, z)); ok {
+		t.Fatal("prefix with trio must not complete")
+	}
+}
+
+func TestCompleteOrderNonConnexPrefixFails(t *testing.T) {
+	// ⟨x,z⟩ on the 2-path: any completion must place y last, creating a
+	// trio; Lemma 4.4's converse says no completion exists.
+	x, y, z := 0, 1, 2
+	h := New([]VSet{e(x, y), e(y, z)})
+	if order, ok := h.CompleteOrder([]int{x, z}, e(x, y, z)); ok {
+		t.Fatalf("⟨x,z⟩ must not be completable, got %v", order)
+	}
+}
+
+// Any order returned by CompleteOrder must be trio-free; exhaustive
+// cross-check on random hypergraphs against brute-force search.
+func TestCompleteOrderAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var perm func(vs []int, cur []int, emit func([]int) bool) bool
+	perm = func(vs, cur []int, emit func([]int) bool) bool {
+		if len(vs) == 0 {
+			return emit(cur)
+		}
+		for i := range vs {
+			rest := make([]int, 0, len(vs)-1)
+			rest = append(rest, vs[:i]...)
+			rest = append(rest, vs[i+1:]...)
+			if perm(rest, append(cur, vs[i]), emit) {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 1500; trial++ {
+		nv := 2 + rng.Intn(4)
+		ne := 1 + rng.Intn(4)
+		edges := make([]VSet, ne)
+		for i := range edges {
+			for edges[i] == 0 {
+				edges[i] = VSet(rng.Int63()) & (Bit(nv) - 1)
+			}
+		}
+		h := New(edges)
+		all := h.Vertices()
+		vars := Members(all)
+		if len(vars) == 0 {
+			continue
+		}
+		prefix := []int{vars[rng.Intn(len(vars))]}
+		got, ok := h.CompleteOrder(prefix, all)
+		// Brute force: does any total order starting with prefix avoid trios?
+		want := perm(Members(all&^Bit(prefix[0])), prefix, func(order []int) bool {
+			_, found := h.FindDisruptiveTrio(order)
+			return !found
+		})
+		if ok != want {
+			t.Fatalf("edges=%v prefix=%v: CompleteOrder=%v bruteforce=%v", edges, prefix, ok, want)
+		}
+		if ok {
+			if _, found := h.FindDisruptiveTrio(got); found {
+				t.Fatalf("edges=%v: completion %v has a trio", edges, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package hypergraph
+
+// DisruptiveTrio is a certificate of lexicographic intractability
+// (Definition 3.2): V1 and V2 are non-neighbors, V3 neighbors both and
+// appears after both in the order.
+type DisruptiveTrio struct {
+	V1, V2, V3 int
+}
+
+// FindDisruptiveTrio searches for a disruptive trio of h with respect to
+// the (possibly partial) lexicographic order L, given as vertex ids in
+// order. All three trio members must occur in L (variables outside a
+// partial order have no position). The second return value reports
+// whether a trio was found.
+func (h Hypergraph) FindDisruptiveTrio(L []int) (DisruptiveTrio, bool) {
+	nb := h.Neighbors()
+	for k := 2; k < len(L); k++ {
+		v3 := L[k]
+		for i := 0; i < k; i++ {
+			v1 := L[i]
+			if !Has(nb[v3], v1) {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				v2 := L[j]
+				if !Has(nb[v3], v2) {
+					continue
+				}
+				if !Has(nb[v1], v2) && v1 != v2 {
+					return DisruptiveTrio{V1: v1, V2: v2, V3: v3}, true
+				}
+			}
+		}
+	}
+	return DisruptiveTrio{}, false
+}
+
+// FindSPath searches for an S-path: a chordless path (x, z1, ..., zk, y)
+// with k ≥ 1, x, y ∈ S, and all zi ∉ S. A hypergraph is S-connex iff it
+// has no S-path (for acyclic hypergraphs); the path is the certificate
+// used by the hardness proofs. Returns the vertex sequence, or nil.
+func (h Hypergraph) FindSPath(s VSet) []int {
+	nb := h.Neighbors()
+	verts := Members(h.Vertices())
+	// Depth-first search over chordless paths starting at a vertex of S,
+	// passing through non-S vertices, ending at a vertex of S. Chordless:
+	// no two non-consecutive path vertices are neighbors. Queries are
+	// constant-size, so the exponential worst case is irrelevant.
+	var path []int
+	var rec func(last int) []int
+	rec = func(last int) []int {
+		for _, next := range Members(nb[last]) {
+			// Chordless extension: next must not neighbor any path vertex
+			// except last (and must not repeat a vertex).
+			ok := true
+			for i, p := range path {
+				if p == next {
+					ok = false
+					break
+				}
+				if i < len(path)-1 && Has(nb[next], p) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if Has(s, next) {
+				if len(path) >= 2 { // at least one middle vertex
+					return append(append([]int(nil), path...), next)
+				}
+				continue
+			}
+			path = append(path, next)
+			if res := rec(next); res != nil {
+				return res
+			}
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	for _, x := range verts {
+		if !Has(s, x) {
+			continue
+		}
+		path = []int{x}
+		if res := rec(x); res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// FindChordlessPath4 searches for a chordless path of four distinct
+// vertices (the certificate of Lemma 7.12 used by the SUM-selection
+// hardness proof). Returns the vertex sequence, or nil.
+func (h Hypergraph) FindChordlessPath4() []int {
+	nb := h.Neighbors()
+	verts := Members(h.Vertices())
+	for _, a := range verts {
+		for _, b := range Members(nb[a]) {
+			for _, c := range Members(nb[b]) {
+				if c == a || Has(nb[a], c) {
+					continue
+				}
+				for _, d := range Members(nb[c]) {
+					if d == a || d == b || Has(nb[a], d) || Has(nb[b], d) {
+						continue
+					}
+					return []int{a, b, c, d}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CompleteOrder extends the prefix L to a total order over the vertex set
+// `all` such that the completed order has no disruptive trio in h
+// (Lemma 4.4). It returns the completed order and whether one exists.
+//
+// It uses the equivalent per-vertex criterion: an order is trio-free iff
+// for every vertex v, the neighbors of v that precede v are pairwise
+// neighbors (otherwise two non-neighboring earlier neighbors of v form a
+// trio with v). This depends only on the *set* of earlier vertices, so a
+// memoized search over prefix sets decides completability exactly.
+func (h Hypergraph) CompleteOrder(L []int, all VSet) ([]int, bool) {
+	nb := h.Neighbors()
+	cliqueOK := func(v int, before VSet) bool {
+		prev := nb[v] & before
+		for _, a := range Members(prev) {
+			rest := prev &^ Bit(a)
+			if rest&^nb[a] != 0 {
+				return false
+			}
+			prev = rest // pairs checked once
+		}
+		return true
+	}
+
+	// The fixed prefix must itself be trio-free under the criterion.
+	var placed VSet
+	for _, v := range L {
+		if !cliqueOK(v, placed) {
+			return nil, false
+		}
+		placed |= Bit(v)
+	}
+	if !Subset(placed, all) {
+		// L mentions vertices outside the completion target; treat the
+		// target as including them.
+		all |= placed
+	}
+
+	order := append([]int(nil), L...)
+	dead := make(map[VSet]bool)
+	var rec func(cur VSet) bool
+	rec = func(cur VSet) bool {
+		if cur == all {
+			return true
+		}
+		if dead[cur] {
+			return false
+		}
+		for _, v := range Members(all &^ cur) {
+			if !cliqueOK(v, cur) {
+				continue
+			}
+			order = append(order, v)
+			if rec(cur | Bit(v)) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		dead[cur] = true
+		return false
+	}
+	if !rec(placed) {
+		return nil, false
+	}
+	return order, true
+}

@@ -1,0 +1,47 @@
+package hypergraph
+
+import "testing"
+
+// Proposition 4.3 / Figure 6: the CQ
+// Q(x, y, z) :- R1(x, y, a), R2(y, z, b), R3(b, c), R4(y, z, d)
+// is both L1-connex for L1 = {x, y, z} (the free variables) and
+// L2-connex for L2 = {y}, so nested connex subtrees exist — the
+// structural fact behind completing partial orders.
+func TestProp43Example(t *testing.T) {
+	x, y, z, a, b, c, d := 0, 1, 2, 3, 4, 5, 6
+	h := New([]VSet{
+		e(x, y, a), e(y, z, b), e(b, c), e(y, z, d),
+	})
+	if !h.Acyclic() {
+		t.Fatal("the Figure 6 query is acyclic")
+	}
+	L1 := e(x, y, z)
+	L2 := e(y)
+	if !h.SConnex(L1) {
+		t.Fatal("must be {x,y,z}-connex")
+	}
+	if !h.SConnex(L2) {
+		t.Fatal("must be {y}-connex")
+	}
+	// Nesting: both sets connex and L2 ⊆ L1; sanity-check a partial
+	// order ⟨y⟩ completes to a full trio-free order starting with y.
+	order, ok := h.CompleteOrder([]int{y}, L1|e(a, b, c, d))
+	if !ok {
+		t.Fatal("⟨y⟩ must complete over all variables")
+	}
+	if order[0] != y {
+		t.Fatalf("completion must start with y: %v", order)
+	}
+	if _, found := h.FindDisruptiveTrio(order); found {
+		t.Fatalf("completion %v has a trio", order)
+	}
+	// A set that is NOT connex for contrast: {x, z} has the path x–y–z
+	// with y outside... x and z: is (x, y, z) an {x,z}-path? x,z ∈ S,
+	// y ∉ S, x–y neighbors, y–z neighbors, x–z non-neighbors: yes.
+	if h.SConnex(e(x, z)) {
+		t.Fatal("{x,z} must not be connex")
+	}
+	if p := h.FindSPath(e(x, z)); p == nil {
+		t.Fatal("expected an {x,z}-path certificate")
+	}
+}

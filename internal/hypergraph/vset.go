@@ -1,0 +1,46 @@
+// Package hypergraph implements the hypergraph machinery the paper's
+// classifications are built on: GYO reduction, join trees with explicit
+// running-intersection verification, acyclicity, S-connexity, S-path
+// certificates, disruptive trios, maximal hyperedges, independent free
+// variables, and lexicographic-order completion.
+//
+// Vertices are small integers (bit positions); vertex sets are single
+// uint64 bitsets, matching cq.MaxVars.
+package hypergraph
+
+import "math/bits"
+
+// VSet is a set of vertices as a bitset over positions 0..63.
+type VSet = uint64
+
+// Bit returns the singleton set {v}.
+func Bit(v int) VSet { return 1 << uint(v) }
+
+// Has reports whether v is in s.
+func Has(s VSet, v int) bool { return s&Bit(v) != 0 }
+
+// Card returns |s|.
+func Card(s VSet) int { return bits.OnesCount64(s) }
+
+// Subset reports whether a is a subset of b.
+func Subset(a, b VSet) bool { return a&^b == 0 }
+
+// Members returns the vertices of s in increasing order.
+func Members(s VSet) []int {
+	out := make([]int, 0, Card(s))
+	for s != 0 {
+		v := bits.TrailingZeros64(s)
+		out = append(out, v)
+		s &^= Bit(v)
+	}
+	return out
+}
+
+// UnionAll returns the union of the given sets.
+func UnionAll(sets []VSet) VSet {
+	var u VSet
+	for _, s := range sets {
+		u |= s
+	}
+	return u
+}

@@ -1,0 +1,173 @@
+// Package order defines the two answer-order families of the paper:
+// lexicographic orders (LEX, Definition in §2.2(1)) with per-variable
+// direction, and sum-of-weights orders (SUM, §2.2(2)).
+//
+// Throughout the repository an answer is a []values.Value indexed by
+// cq.VarID (slots of existential variables are unused).
+package order
+
+import (
+	"fmt"
+	"strings"
+
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/values"
+)
+
+// Answer assigns values to variables, indexed by cq.VarID. Only free
+// variable slots are meaningful.
+type Answer = []values.Value
+
+// Direction of one lexicographic component.
+type Direction int
+
+const (
+	// Asc sorts the component by increasing domain value.
+	Asc Direction = iota
+	// Desc sorts the component by decreasing domain value.
+	Desc
+)
+
+// LexEntry is one component of a lexicographic order.
+type LexEntry struct {
+	Var cq.VarID
+	Dir Direction
+}
+
+// Lex is a (possibly partial) lexicographic order over free variables.
+type Lex struct {
+	Entries []LexEntry
+}
+
+// NewLex builds an ascending lexicographic order over the given variables.
+func NewLex(vars ...cq.VarID) Lex {
+	l := Lex{Entries: make([]LexEntry, len(vars))}
+	for i, v := range vars {
+		l.Entries[i] = LexEntry{Var: v}
+	}
+	return l
+}
+
+// Vars returns the ordered variable ids.
+func (l Lex) Vars() []cq.VarID {
+	out := make([]cq.VarID, len(l.Entries))
+	for i, e := range l.Entries {
+		out[i] = e.Var
+	}
+	return out
+}
+
+// VarSet returns the set of order variables as a bitset.
+func (l Lex) VarSet() uint64 {
+	var s uint64
+	for _, e := range l.Entries {
+		s |= 1 << uint(e.Var)
+	}
+	return s
+}
+
+// IsPartialFor reports whether l covers a strict subset of q's free
+// variables.
+func (l Lex) IsPartialFor(q *cq.Query) bool {
+	return l.VarSet() != q.Free()
+}
+
+// Validate checks that l mentions only free variables of q, each at most
+// once.
+func (l Lex) Validate(q *cq.Query) error {
+	free := q.Free()
+	var seen uint64
+	for _, e := range l.Entries {
+		bit := uint64(1) << uint(e.Var)
+		if free&bit == 0 {
+			return fmt.Errorf("order: %s is not a free variable of %s", q.VarName(e.Var), q.Name)
+		}
+		if seen&bit != 0 {
+			return fmt.Errorf("order: variable %s repeats in the order", q.VarName(e.Var))
+		}
+		seen |= bit
+	}
+	return nil
+}
+
+// Compare compares two answers under l: negative if a before b, 0 if
+// equal on all order components.
+func (l Lex) Compare(a, b Answer) int {
+	for _, e := range l.Entries {
+		av, bv := a[e.Var], b[e.Var]
+		if av == bv {
+			continue
+		}
+		less := av < bv
+		if e.Dir == Desc {
+			less = !less
+		}
+		if less {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// CompareValues compares two values of the entry's component.
+func (e LexEntry) CompareValues(a, b values.Value) int {
+	if a == b {
+		return 0
+	}
+	less := a < b
+	if e.Dir == Desc {
+		less = !less
+	}
+	if less {
+		return -1
+	}
+	return 1
+}
+
+// String renders the order, e.g. "⟨x, z desc⟩" as "x, z desc".
+func (l Lex) Render(q *cq.Query) string {
+	parts := make([]string, len(l.Entries))
+	for i, e := range l.Entries {
+		parts[i] = q.VarName(e.Var)
+		if e.Dir == Desc {
+			parts[i] += " desc"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseLex parses a comma-separated variable list with optional "asc" /
+// "desc" suffixes, e.g. "x, z desc, y". Variables must already exist in q.
+func ParseLex(q *cq.Query, s string) (Lex, error) {
+	var l Lex
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return l, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Fields(part)
+		if len(fields) == 0 || len(fields) > 2 {
+			return Lex{}, fmt.Errorf("order: bad component %q", part)
+		}
+		v, ok := q.VarByName(fields[0])
+		if !ok {
+			return Lex{}, fmt.Errorf("order: unknown variable %q", fields[0])
+		}
+		dir := Asc
+		if len(fields) == 2 {
+			switch strings.ToLower(fields[1]) {
+			case "asc":
+			case "desc":
+				dir = Desc
+			default:
+				return Lex{}, fmt.Errorf("order: bad direction %q", fields[1])
+			}
+		}
+		l.Entries = append(l.Entries, LexEntry{Var: v, Dir: dir})
+	}
+	if err := l.Validate(q); err != nil {
+		return Lex{}, err
+	}
+	return l, nil
+}

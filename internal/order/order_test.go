@@ -1,0 +1,140 @@
+package order
+
+import (
+	"testing"
+
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/values"
+)
+
+func twoPath(t *testing.T) *cq.Query {
+	t.Helper()
+	return cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+}
+
+func ans(q *cq.Query, m map[string]values.Value) Answer {
+	a := make(Answer, q.NumVars())
+	for name, v := range m {
+		id, ok := q.VarByName(name)
+		if !ok {
+			panic("unknown var " + name)
+		}
+		a[id] = v
+	}
+	return a
+}
+
+func TestParseLexBasic(t *testing.T) {
+	q := twoPath(t)
+	l, err := ParseLex(q, "x, z desc, y asc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Entries) != 3 || l.Entries[1].Dir != Desc || l.Entries[2].Dir != Asc {
+		t.Fatalf("parsed %+v", l)
+	}
+	if l.Render(q) != "x, z desc, y" {
+		t.Fatalf("render = %q", l.Render(q))
+	}
+	if l.IsPartialFor(q) {
+		t.Fatal("full order misclassified as partial")
+	}
+	l2, err := ParseLex(q, "x, z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.IsPartialFor(q) {
+		t.Fatal("partial order misclassified as full")
+	}
+}
+
+func TestParseLexErrors(t *testing.T) {
+	q := twoPath(t)
+	for _, bad := range []string{"w", "x, x", "x down", "x y z"} {
+		if _, err := ParseLex(q, bad); err == nil {
+			t.Errorf("ParseLex(%q) must fail", bad)
+		}
+	}
+}
+
+func TestLexValidateRejectsExistential(t *testing.T) {
+	q := cq.MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	y, _ := q.VarByName("y")
+	l := NewLex(y)
+	if err := l.Validate(q); err == nil {
+		t.Fatal("existential variable in order must be rejected")
+	}
+}
+
+func TestLexCompare(t *testing.T) {
+	q := twoPath(t)
+	l, _ := ParseLex(q, "x, y")
+	a := ans(q, map[string]values.Value{"x": 1, "y": 2, "z": 5})
+	b := ans(q, map[string]values.Value{"x": 1, "y": 5, "z": 3})
+	if l.Compare(a, b) >= 0 {
+		t.Fatal("(1,2) must precede (1,5)")
+	}
+	if l.Compare(b, a) <= 0 {
+		t.Fatal("comparison must be antisymmetric")
+	}
+	// Equal on order components → 0 even if z differs.
+	c := ans(q, map[string]values.Value{"x": 1, "y": 2, "z": 9})
+	if l.Compare(a, c) != 0 {
+		t.Fatal("z is not an order component here")
+	}
+}
+
+func TestLexCompareDesc(t *testing.T) {
+	q := twoPath(t)
+	l, _ := ParseLex(q, "y desc")
+	a := ans(q, map[string]values.Value{"y": 2})
+	b := ans(q, map[string]values.Value{"y": 5})
+	if l.Compare(a, b) <= 0 {
+		t.Fatal("descending order must put larger y first")
+	}
+	e := l.Entries[0]
+	if e.CompareValues(5, 2) >= 0 {
+		t.Fatal("CompareValues must respect direction")
+	}
+	if e.CompareValues(3, 3) != 0 {
+		t.Fatal("equal values compare 0")
+	}
+}
+
+func TestSumWeights(t *testing.T) {
+	q := twoPath(t)
+	x, _ := q.VarByName("x")
+	y, _ := q.VarByName("y")
+	z, _ := q.VarByName("z")
+	s := IdentitySum(x, y, z)
+	// Figure 2(d): answer (1,2,5) has weight 8; (6,2,5) has weight 13.
+	a := ans(q, map[string]values.Value{"x": 1, "y": 2, "z": 5})
+	b := ans(q, map[string]values.Value{"x": 6, "y": 2, "z": 5})
+	if got := s.AnswerWeight(q, a); got != 8 {
+		t.Fatalf("weight = %v, want 8", got)
+	}
+	if got := s.AnswerWeight(q, b); got != 13 {
+		t.Fatalf("weight = %v, want 13", got)
+	}
+	if s.Compare(q, a, b) >= 0 {
+		t.Fatal("8 must precede 13")
+	}
+}
+
+func TestTableSumAndDefaults(t *testing.T) {
+	q := twoPath(t)
+	x, _ := q.VarByName("x")
+	s := TableSum(map[cq.VarID]map[values.Value]float64{
+		x: {1: 10.5},
+	})
+	if s.VarWeight(x, 1) != 10.5 {
+		t.Fatal("table weight lookup")
+	}
+	if s.VarWeight(x, 2) != 0 {
+		t.Fatal("missing table entry must weigh 0")
+	}
+	y, _ := q.VarByName("y")
+	if s.VarWeight(y, 7) != 0 {
+		t.Fatal("missing variable must weigh 0")
+	}
+}

@@ -1,0 +1,97 @@
+package order
+
+import (
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/values"
+)
+
+// WeightFn maps a domain value of one variable to its real-valued weight.
+type WeightFn func(v values.Value) float64
+
+// Sum is a sum-of-weights order: each free variable has a weight
+// function, and answers are ordered by the sum of the weights of their
+// free-variable values (§2.2(2)). Variables without an entry weigh 0.
+type Sum struct {
+	W map[cq.VarID]WeightFn
+}
+
+// NewSum returns an empty SUM order (all weights 0).
+func NewSum() Sum { return Sum{W: make(map[cq.VarID]WeightFn)} }
+
+// IdentitySum weighs every listed variable by its own value code. This is
+// the convention of Figure 2(d) ("weights identical to attribute values").
+func IdentitySum(vars ...cq.VarID) Sum {
+	s := NewSum()
+	for _, v := range vars {
+		s.W[v] = func(x values.Value) float64 { return float64(x) }
+	}
+	return s
+}
+
+// TableSum builds a SUM order from explicit per-variable weight tables.
+// Values missing from a table weigh 0.
+func TableSum(tables map[cq.VarID]map[values.Value]float64) Sum {
+	s := NewSum()
+	for v, tab := range tables {
+		t := tab
+		s.W[v] = func(x values.Value) float64 { return t[x] }
+	}
+	return s
+}
+
+// TupleSum is the tuple-weight convention of §2.2: each relation symbol
+// maps to a function from a tuple's values to its weight (well-defined
+// under set semantics). Relations without an entry weigh 0. Used with
+// full self-join-free CQs, where the paper notes the semantics are clear.
+type TupleSum map[string]func(t []values.Value) float64
+
+// AnswerWeight sums the tuple weights an answer of the full query q picks
+// from each atom's relation.
+func (ts TupleSum) AnswerWeight(q *cq.Query, a Answer) float64 {
+	total := 0.0
+	buf := make([]values.Value, 0, 8)
+	for _, atom := range q.Atoms {
+		fn := ts[atom.Rel]
+		if fn == nil {
+			continue
+		}
+		buf = buf[:0]
+		for _, v := range atom.Vars {
+			buf = append(buf, a[v])
+		}
+		total += fn(buf)
+	}
+	return total
+}
+
+// VarWeight returns the weight of value x for variable v.
+func (s Sum) VarWeight(v cq.VarID, x values.Value) float64 {
+	if fn, ok := s.W[v]; ok {
+		return fn(x)
+	}
+	return 0
+}
+
+// AnswerWeight returns the total weight of an answer of q: the sum over
+// free variables of the variable's weight at the answer's value.
+func (s Sum) AnswerWeight(q *cq.Query, a Answer) float64 {
+	total := 0.0
+	for _, v := range q.Head {
+		total += s.VarWeight(v, a[v])
+	}
+	return total
+}
+
+// Compare orders answers by weight; ties compare as 0 (callers that need
+// a total order break ties lexicographically over the head).
+func (s Sum) Compare(q *cq.Query, a, b Answer) int {
+	wa, wb := s.AnswerWeight(q, a), s.AnswerWeight(q, b)
+	switch {
+	case wa < wb:
+		return -1
+	case wa > wb:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,224 @@
+package reduce
+
+import (
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// Contraction is the result of maximally contracting a full CQ
+// (Definition 7.5, executed on data per Lemma 7.7): absorbed atoms are
+// folded into their absorbers by semijoin, and absorbed variables are
+// packed into their absorbing variable's values. Unpack inverts the value
+// packing on an answer.
+type Contraction struct {
+	// Full is the contracted full CQ. len(Full.Nodes) == mh of the input.
+	Full *Full
+	// Weights give per-variable weight functions for the contracted query
+	// (packed variables carry the sum of their constituents' weights).
+	Weights order.Sum
+
+	packs []packStep
+}
+
+type packStep struct {
+	u, v   cq.VarID // v was absorbed into u
+	packer *values.Packer
+}
+
+// Contract maximally contracts f under the SUM order w. The returned
+// Contraction's nodes join to the same answers as f's (after Unpack).
+func Contract(f *Full, w order.Sum) *Contraction {
+	// Work on copies.
+	nodes := make([]*Node, len(f.Nodes))
+	for i, n := range f.Nodes {
+		nodes[i] = &Node{Vars: append([]cq.VarID(nil), n.Vars...), Rel: n.Rel.Clone()}
+	}
+	c := &Contraction{Weights: order.NewSum()}
+	for v, fn := range w.W {
+		c.Weights.W[v] = fn
+	}
+	// Base for packed codes: above any value in the data.
+	var maxVal values.Value
+	for _, n := range nodes {
+		for i := 0; i < n.Rel.Len(); i++ {
+			for _, x := range n.Rel.Tuple(i) {
+				if x > maxVal {
+					maxVal = x
+				}
+			}
+		}
+	}
+	nextBase := maxVal + 1
+
+	for changed := true; changed; {
+		changed = false
+		// Absorbed atoms: e ⊆ f' (same as FreeReduce's absorb).
+		for i := 0; i < len(nodes); i++ {
+			for j := 0; j < len(nodes); j++ {
+				if i == j {
+					continue
+				}
+				if !subsetVars(nodes[i], nodes[j]) {
+					continue
+				}
+				iCols := make([]int, len(nodes[i].Vars))
+				jCols := make([]int, len(nodes[i].Vars))
+				for k, v := range nodes[i].Vars {
+					iCols[k] = k
+					jCols[k] = nodes[j].Col(v)
+				}
+				nodes[j].Rel = nodes[j].Rel.Semijoin(jCols, nodes[i].Rel, iCols)
+				nodes = append(nodes[:i], nodes[i+1:]...)
+				changed = true
+				i--
+				break
+			}
+		}
+		// Absorbed variables: u, v occurring in exactly the same nodes
+		// (all variables of a full CQ are free, so the freeness side
+		// condition of the definition is moot).
+		if u, v, ok := findAbsorbedVarPair(nodes); ok {
+			packer := values.NewPacker(nextBase)
+			for _, n := range nodes {
+				uCol, vCol := n.Col(u), n.Col(v)
+				if uCol < 0 {
+					continue
+				}
+				packColumn(n, uCol, vCol, packer)
+			}
+			wu := c.Weights.W[u]
+			wv := c.Weights.W[v]
+			p := packer
+			c.Weights.W[u] = func(x values.Value) float64 {
+				a, b, ok := p.Unpack(x)
+				if !ok {
+					return 0
+				}
+				total := 0.0
+				if wu != nil {
+					total += wu(a)
+				}
+				if wv != nil {
+					total += wv(b)
+				}
+				return total
+			}
+			delete(c.Weights.W, v)
+			c.packs = append(c.packs, packStep{u: u, v: v, packer: packer})
+			nextBase += values.Value(packer.Len()) + 1_000_000
+			changed = true
+		}
+	}
+	// Contracted head: variables still present.
+	head := make([]cq.VarID, 0)
+	seen := map[cq.VarID]bool{}
+	for _, n := range nodes {
+		for _, v := range n.Vars {
+			if !seen[v] {
+				seen[v] = true
+				head = append(head, v)
+			}
+		}
+	}
+	q := f.Origin.Clone()
+	q.Atoms = nil
+	for i, n := range nodes {
+		names := make([]string, len(n.Vars))
+		for k, v := range n.Vars {
+			names[k] = q.VarName(v)
+		}
+		q.AddAtom(contractRelName(i), names...)
+	}
+	q.Head = head
+	c.Full = &Full{Origin: q, Nodes: nodes}
+	return c
+}
+
+func contractRelName(i int) string { return "contracted_" + string(rune('A'+i)) }
+
+func subsetVars(a, b *Node) bool {
+	for _, v := range a.Vars {
+		if b.Col(v) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// findAbsorbedVarPair returns (u, v) such that u and v occur in exactly
+// the same nodes; v will be absorbed into u.
+func findAbsorbedVarPair(nodes []*Node) (u, v cq.VarID, ok bool) {
+	occ := map[cq.VarID]uint64{}
+	for idx, n := range nodes {
+		for _, x := range n.Vars {
+			occ[x] |= 1 << uint(idx)
+		}
+	}
+	vars := make([]cq.VarID, 0, len(occ))
+	for x := range occ {
+		vars = append(vars, x)
+	}
+	for i := 0; i < len(vars); i++ {
+		for j := 0; j < len(vars); j++ {
+			if i == j {
+				continue
+			}
+			if occ[vars[i]] == occ[vars[j]] && vars[i] < vars[j] {
+				return vars[i], vars[j], true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// packColumn replaces column uCol's value by pack(u, v) and removes
+// column vCol.
+func packColumn(n *Node, uCol, vCol int, p *values.Packer) {
+	if vCol < 0 {
+		panic("reduce: absorbed variable missing from a shared node")
+	}
+	arity := len(n.Vars)
+	keep := make([]int, 0, arity-1)
+	for c := 0; c < arity; c++ {
+		if c != vCol {
+			keep = append(keep, c)
+		}
+	}
+	// Build the packed relation.
+	packed := database.NewRelation(arity - 1)
+	rowBuf := make([]values.Value, arity-1)
+	for i := 0; i < n.Rel.Len(); i++ {
+		row := n.Rel.Tuple(i)
+		for k, c := range keep {
+			if c == uCol {
+				rowBuf[k] = p.Pack(row[uCol], row[vCol])
+			} else {
+				rowBuf[k] = row[c]
+			}
+		}
+		packed.Append(rowBuf...)
+	}
+	newVars := make([]cq.VarID, 0, arity-1)
+	for _, c := range keep {
+		newVars = append(newVars, n.Vars[c])
+	}
+	n.Vars = newVars
+	n.Rel = packed.Dedup()
+}
+
+// Unpack maps an answer of the contracted query back to an answer of the
+// original full query (VarID-indexed), undoing value packing in reverse
+// order.
+func (c *Contraction) Unpack(a order.Answer) order.Answer {
+	out := append(order.Answer(nil), a...)
+	for i := len(c.packs) - 1; i >= 0; i-- {
+		st := c.packs[i]
+		if av, bv, ok := st.packer.Unpack(out[st.u]); ok {
+			out[st.u] = av
+			out[st.v] = bv
+		}
+	}
+	return out
+}

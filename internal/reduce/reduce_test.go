@@ -1,0 +1,354 @@
+package reduce
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rankedaccess/internal/baseline"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+func fig2() *database.Instance {
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 1, 2)
+	in.AddRow("R", 6, 2)
+	in.AddRow("S", 5, 3)
+	in.AddRow("S", 5, 4)
+	in.AddRow("S", 5, 6)
+	in.AddRow("S", 2, 5)
+	return in
+}
+
+// canonical renders answers (projected to head) as a sorted string list.
+func canonical(q *cq.Query, answers []order.Answer) []string {
+	out := make([]string, 0, len(answers))
+	for _, a := range answers {
+		s := ""
+		for _, v := range q.Head {
+			s += string(rune('0'))
+			s += "|"
+			s += itoa(a[v])
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func itoa(v values.Value) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func answersEqual(t *testing.T, q *cq.Query, got, want []order.Answer) {
+	t.Helper()
+	g, w := canonical(q, got), canonical(q, want)
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("answer sets differ:\n got %v\nwant %v", g, w)
+	}
+}
+
+func TestFreeReduceFullQueryIsIdentityLike(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	full, err := FreeReduce(q, fig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, in2 := full.AsQueryInstance()
+	answersEqual(t, q, baseline.AllAnswers(q2, in2), baseline.AllAnswers(q, fig2()))
+}
+
+func TestFreeReduceProjection(t *testing.T) {
+	// Q(x, y) :- R(x, y), S(y, z): free-connex; z projected away.
+	q := cq.MustParse("Q(x, y) :- R(x, y), S(y, z)")
+	full, err := FreeReduce(q, fig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduction must not mention z.
+	z, _ := q.VarByName("z")
+	for _, n := range full.Nodes {
+		if n.Col(z) >= 0 {
+			t.Fatal("existential variable survived the reduction")
+		}
+	}
+	q2, in2 := full.AsQueryInstance()
+	answersEqual(t, q, baseline.AllAnswers(q2, in2), baseline.AllAnswers(q, fig2()))
+}
+
+func TestFreeReduceNonFreeConnex(t *testing.T) {
+	q := cq.MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	if _, err := FreeReduce(q, fig2()); !errors.Is(err, ErrNotFreeConnex) {
+		t.Fatalf("expected ErrNotFreeConnex, got %v", err)
+	}
+}
+
+func TestFreeReduceCyclic(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("S", 2, 3)
+	in.AddRow("T", 3, 1)
+	if _, err := FreeReduce(q, in); !errors.Is(err, ErrNotFreeConnex) {
+		t.Fatalf("expected ErrNotFreeConnex for cyclic query, got %v", err)
+	}
+}
+
+func TestFreeReduceBoolean(t *testing.T) {
+	q := cq.MustParse("Q() :- R(x, y), S(y, z)")
+	full, err := FreeReduce(q, fig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, in2 := full.AsQueryInstance()
+	if got := baseline.Count(q2, in2); got != 1 {
+		t.Fatalf("Boolean true query must have 1 answer, got %d", got)
+	}
+	// Empty S: no answers.
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.SetRelation("S", database.NewRelation(2))
+	full2, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, in3 := full2.AsQueryInstance()
+	if got := baseline.Count(q3, in3); got != 0 {
+		t.Fatalf("Boolean false query must have 0 answers, got %d", got)
+	}
+}
+
+func TestFreeReduceRepeatedVariable(t *testing.T) {
+	q := cq.MustParse("Q(x, y) :- R(x, x, y)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 1, 7)
+	in.AddRow("R", 1, 2, 8)
+	full, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, in2 := full.AsQueryInstance()
+	answersEqual(t, q, baseline.AllAnswers(q2, in2), baseline.AllAnswers(q, in))
+}
+
+func TestFreeReduceSelfJoin(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), R(y, z)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("R", 2, 3)
+	in.AddRow("R", 2, 4)
+	full, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, in2 := full.AsQueryInstance()
+	answersEqual(t, q, baseline.AllAnswers(q2, in2), baseline.AllAnswers(q, in))
+}
+
+// Property test: on random free-connex queries and small random
+// instances, the reduction preserves the answer set exactly.
+func TestFreeReducePreservesAnswersRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	catalog := []string{
+		"Q(x, y, z) :- R(x, y), S(y, z)",
+		"Q(x, y) :- R(x, y), S(y, z)",
+		"Q(y) :- R(x, y), S(y, z)",
+		"Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)",
+		"Q(x, y, z) :- R(x, y), S(y, z), T(z, u)",
+		"Q(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)",
+		"Q(v1, v2, v3, v4, v5) :- R1(v1, v3), R2(v3, v4), R3(v2, v5)",
+		"Q(v1, v2, v3, v4, v5) :- R1(v1, v2, v4), R2(v2, v3, v5)",
+		"Q(x, y) :- R(x), S(y)",
+		"Q(a, b) :- R(a, b), S(b), T(b, c), U(c, d)",
+	}
+	for _, src := range catalog {
+		q := cq.MustParse(src)
+		for trial := 0; trial < 30; trial++ {
+			in := database.NewInstance()
+			for _, a := range q.Atoms {
+				if in.Relation(a.Rel) != nil {
+					continue
+				}
+				rows := rng.Intn(8)
+				for r := 0; r < rows; r++ {
+					row := make([]values.Value, len(a.Vars))
+					for c := range row {
+						row[c] = values.Value(rng.Intn(4))
+					}
+					in.AddRow(a.Rel, row...)
+				}
+				if in.Relation(a.Rel) == nil {
+					in.SetRelation(a.Rel, database.NewRelation(len(a.Vars)))
+				}
+			}
+			full, err := FreeReduce(q, in)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			q2, in2 := full.AsQueryInstance()
+			answersEqual(t, q, baseline.AllAnswers(q2, in2), baseline.AllAnswers(q, in))
+		}
+	}
+}
+
+func TestYannakakisRemovesDangling(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z) :- R(x, y), S(y, z)")
+	in := fig2()
+	in.AddRow("R", 9, 99) // dangling
+	in.AddRow("S", 77, 7) // dangling
+	full, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Yannakakis()
+	for _, n := range full.Nodes {
+		for i := 0; i < n.Rel.Len(); i++ {
+			tu := n.Rel.Tuple(i)
+			if tu[0] == 9 || tu[0] == 77 {
+				t.Fatalf("dangling tuple survived: %v", tu)
+			}
+		}
+	}
+	q2, in2 := full.AsQueryInstance()
+	answersEqual(t, q, baseline.AllAnswers(q2, in2), baseline.AllAnswers(q, in))
+}
+
+func TestReroot(t *testing.T) {
+	q := cq.MustParse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("S", 2, 3)
+	in.AddRow("T", 3, 4)
+	full, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for newRoot := range full.Nodes {
+		tree.Reroot(newRoot)
+		if tree.Root != newRoot {
+			t.Fatalf("root = %d, want %d", tree.Root, newRoot)
+		}
+		roots := 0
+		for i, p := range tree.Parent {
+			if p == -1 {
+				roots++
+			} else if p == i {
+				t.Fatal("self-parent")
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("%d roots after reroot", roots)
+		}
+		// Still a connected tree: every node reaches the root.
+		for i := range tree.Parent {
+			seen := map[int]bool{}
+			for u := i; u != tree.Root; u = tree.Parent[u] {
+				if seen[u] {
+					t.Fatal("cycle in rerooted tree")
+				}
+				seen[u] = true
+			}
+		}
+	}
+}
+
+// Contraction of Example 7.6: Q(x,y,z) :- R(x,u,y), S(y), T(y,z), U(x,u,y)
+// contracts to two atoms (mh = 2), with u absorbed into x.
+func TestExample76Contraction(t *testing.T) {
+	q := cq.MustParse("Q(x, u, y, z) :- R(x, u, y), S(y), T(y, z), U(x, u, y)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 10, 2)
+	in.AddRow("R", 3, 30, 2)
+	in.AddRow("S", 2)
+	in.AddRow("T", 2, 7)
+	in.AddRow("T", 2, 8)
+	in.AddRow("U", 1, 10, 2)
+	in.AddRow("U", 3, 30, 2)
+	full, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := q.VarByName("x")
+	u, _ := q.VarByName("u")
+	y, _ := q.VarByName("y")
+	z, _ := q.VarByName("z")
+	w := order.IdentitySum(x, u, y, z)
+	c := Contract(full, w)
+	if got := len(c.Full.Nodes); got != 2 {
+		t.Fatalf("contracted to %d atoms, want 2", got)
+	}
+	// Answers of the contraction, unpacked, must equal the original's.
+	q2, in2 := c.Full.AsQueryInstance()
+	raw := baseline.AllAnswers(q2, in2)
+	unpacked := make([]order.Answer, len(raw))
+	for i, a := range raw {
+		unpacked[i] = c.Unpack(a)
+	}
+	answersEqual(t, q, unpacked, baseline.AllAnswers(q, in))
+	// Weights must be preserved: packed (x,u) carries w_x + w_u.
+	for _, a := range raw {
+		up := c.Unpack(a)
+		wPacked := 0.0
+		for _, v := range c.Full.Origin.Head {
+			wPacked += c.Weights.VarWeight(v, a[v])
+		}
+		if want := w.AnswerWeight(q, up); wPacked != want {
+			t.Fatalf("packed weight %v, want %v", wPacked, want)
+		}
+	}
+}
+
+func TestContractSingleAtom(t *testing.T) {
+	// Everything absorbed into one atom: mh = 1.
+	q := cq.MustParse("Q(x, y) :- R(x, y), S(x), T(y)")
+	in := database.NewInstance()
+	in.AddRow("R", 1, 2)
+	in.AddRow("R", 3, 4)
+	in.AddRow("S", 1)
+	in.AddRow("T", 2)
+	in.AddRow("T", 4)
+	full, err := FreeReduce(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Contract(full, order.NewSum())
+	if len(c.Full.Nodes) != 1 {
+		t.Fatalf("contracted to %d atoms, want 1", len(c.Full.Nodes))
+	}
+	q2, in2 := c.Full.AsQueryInstance()
+	raw := baseline.AllAnswers(q2, in2)
+	unpacked := make([]order.Answer, len(raw))
+	for i, a := range raw {
+		unpacked[i] = c.Unpack(a)
+	}
+	answersEqual(t, q, unpacked, baseline.AllAnswers(q, in))
+}

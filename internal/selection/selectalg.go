@@ -1,0 +1,122 @@
+// Package selection implements the paper's selection algorithms:
+//
+//   - deterministic linear-time (weighted) selection [Blum et al.;
+//     Johnson–Mizoguchi], used as a primitive;
+//   - selection by lexicographic orders for all free-connex CQs in ⟨1, n⟩
+//     (Theorem 6.1, via the histogram of Lemma 6.5 and the iterative
+//     algorithm of Lemma 6.6);
+//   - selection by SUM in ⟨1, n log n⟩ for free-connex CQs with at most
+//     two free-maximal hyperedges (Theorem 7.3), via maximal contraction
+//     (Lemma 7.7) and selection over bucketed sorted matrices — the
+//     Frederickson–Johnson setting of Theorem 7.9, realized here with an
+//     exact bisection over the finite float64 sum space (same overall
+//     O(n log n) bound; see DESIGN.md for the substitution note).
+package selection
+
+import (
+	"cmp"
+	"sort"
+
+	"rankedaccess/internal/access"
+)
+
+// ErrOutOfBound is returned when the requested index is outside
+// [0, |Q(I)|). It is the same sentinel the access package uses, so
+// callers can handle both layers uniformly.
+var ErrOutOfBound = access.ErrOutOfBound
+
+// WItem is a key with a non-negative multiplicity, for weighted selection.
+type WItem[K cmp.Ordered] struct {
+	Key    K
+	Weight int64
+}
+
+// WeightedSelect returns the key κ such that the total weight of items
+// with key < κ is ≤ k and the total weight of items with key ≤ κ is > k
+// (i.e. position k, 0-based, falls inside κ's weight range), together
+// with the total weight strictly before κ. It runs in deterministic
+// linear time via median-of-medians pivoting.
+//
+// The items slice is reordered. k must satisfy 0 ≤ k < total weight.
+func WeightedSelect[K cmp.Ordered](items []WItem[K], k int64) (key K, before int64, ok bool) {
+	var total int64
+	for _, it := range items {
+		total += it.Weight
+	}
+	if k < 0 || k >= total {
+		var zero K
+		return zero, 0, false
+	}
+	var acc int64 // weight known to be strictly before the current slice
+	for {
+		if len(items) == 1 {
+			return items[0].Key, acc, true
+		}
+		pivot := medianOfMedians(items)
+		var less, equal []WItem[K]
+		var wLess, wEqual int64
+		greater := items[:0:0]
+		for _, it := range items {
+			switch {
+			case it.Key < pivot:
+				less = append(less, it)
+				wLess += it.Weight
+			case it.Key == pivot:
+				equal = append(equal, it)
+				wEqual += it.Weight
+			default:
+				greater = append(greater, it)
+			}
+		}
+		switch {
+		case k < wLess:
+			items = less
+		case k < wLess+wEqual:
+			return pivot, acc + wLess, true
+		default:
+			items = greater
+			acc += wLess + wEqual
+			k -= wLess + wEqual
+		}
+	}
+}
+
+// medianOfMedians returns a pivot key guaranteed to split the items
+// 30/70 (the classic groups-of-five construction, by key only; weights
+// do not matter for the pivot quality because the recursion re-weighs).
+func medianOfMedians[K cmp.Ordered](items []WItem[K]) K {
+	n := len(items)
+	if n <= 10 {
+		keys := make([]K, n)
+		for i, it := range items {
+			keys[i] = it.Key
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return keys[n/2]
+	}
+	medians := make([]WItem[K], 0, (n+4)/5)
+	var five [5]K
+	for i := 0; i < n; i += 5 {
+		m := 0
+		for j := i; j < i+5 && j < n; j++ {
+			five[m] = items[j].Key
+			m++
+		}
+		part := five[:m]
+		sort.Slice(part, func(a, b int) bool { return part[a] < part[b] })
+		medians = append(medians, WItem[K]{Key: part[m/2], Weight: 1})
+	}
+	key, _, _ := WeightedSelect(medians, int64(len(medians)/2))
+	return key
+}
+
+// Nth returns the k-th smallest (0-based) of keys in deterministic linear
+// time. The slice is not modified.
+func Nth[K cmp.Ordered](keys []K, k int64) (K, bool) {
+	items := make([]WItem[K], len(keys))
+	for i, x := range keys {
+		items[i] = WItem[K]{Key: x, Weight: 1}
+	}
+	key, _, ok := WeightedSelect(items, k)
+	return key, ok
+}

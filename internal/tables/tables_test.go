@@ -1,0 +1,128 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1(t *testing.T) {
+	out := Fig1()
+	for _, want := range []string{
+		"free-connex, no trio, L-connex",
+		"cyclic (triangle)",
+		"tractable",
+		"hard",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig1 output missing %q:\n%s", want, out)
+		}
+	}
+	// The 2-path with a complete tractable order: DA-LEX tractable but
+	// DA-SUM hard — the row must show both.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "no trio") {
+			if !strings.Contains(line, "tractable") || !strings.Contains(line, "hard") {
+				t.Fatalf("unexpected row: %s", line)
+			}
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	out := Fig2()
+	// Figure 2(b) first row: 1 2 5; last row: 6 2 5.
+	if !strings.Contains(out, "#1   1  2  5") {
+		t.Fatalf("Fig2(b) first row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#5   6  2  5") {
+		t.Fatalf("Fig2 last row missing:\n%s", out)
+	}
+	// Figure 2(c) row #3 is (x=1, z=5, y=2).
+	if !strings.Contains(out, "#3   1  5  2") {
+		t.Fatalf("Fig2(c) row 3 missing:\n%s", out)
+	}
+	// Figure 2(d): weights 8 and 13 appear.
+	if !strings.Contains(out, "8") || !strings.Contains(out, "13") {
+		t.Fatalf("Fig2(d) weights missing:\n%s", out)
+	}
+}
+
+func TestExample11(t *testing.T) {
+	out := Example11()
+	cases := []struct {
+		label string
+		want  string
+	}{
+		{"LEX ⟨x,y,z⟩: direct access", "tractable"},
+		{"LEX ⟨x,z,y⟩: direct access", "intractable"},
+		{"LEX ⟨x,z,y⟩: selection", "tractable"},
+		{"LEX ⟨x,z⟩: direct access", "intractable"},
+		{"LEX ⟨x,z⟩, y projected: selection", "intractable"},
+		{"FD R: y→x: direct access", "tractable"},
+		{"FD S: y→z: direct access", "tractable"},
+		{"FD R: x→y: direct access", "tractable"},
+		{"FD S: z→y: direct access", "intractable"},
+		{"SUM x+y+z: direct access", "intractable"},
+		{"SUM x+y+z: selection", "tractable"},
+		{"SUM x+y, z projected: direct access", "tractable"},
+		{"SUM x+z, y projected: selection", "intractable"},
+	}
+	for _, c := range cases {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, c.label) {
+				found = true
+				fields := strings.Fields(line)
+				got := fields[len(fields)-1]
+				if got != c.want {
+					t.Errorf("%s: got %s, want %s", c.label, got, c.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("bullet %q missing from output", c.label)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	out, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"total answers: 16",
+		"value=1 weight=8 start=0", // R' tuple a1
+		"value=2 weight=8 start=8", // R' tuple a2
+		"value=1 weight=3 start=0", // S' tuple b1
+		"value=2 weight=1 start=3", // S' tuple b2
+		"access(k=12) → (2, 1, 3, 2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	out := Fig8()
+	if !strings.Contains(out, "α_free = 1") || !strings.Contains(out, "TRACTABLE ⟨n log n, 1⟩") {
+		t.Fatalf("Fig8 tractable row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "3SUM") || !strings.Contains(out, "HYPERCLIQUE") {
+		t.Fatalf("Fig8 hardness hypotheses missing:\n%s", out)
+	}
+}
+
+func TestFDExamples(t *testing.T) {
+	out := FDExamples()
+	if !strings.Contains(out, "Q+ = Q(x, z) :- R(x, y, z), S(y, z)") {
+		t.Fatalf("Example 8.3 extension missing:\n%s", out)
+	}
+	if !strings.Contains(out, "⟨v1, v3, v2, v4⟩: tractable") {
+		t.Fatalf("Example 8.14 reordering missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Example 8.19") || !strings.Contains(out, "intractable") {
+		t.Fatalf("Example 8.19 missing:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+// Package values provides dictionary encoding of domain values.
+//
+// All relational machinery in this repository works over int64 value
+// codes. A Dict maps external (string) constants to codes and back. The
+// order of codes is the order used by lexicographic comparisons, so a
+// Dict can either be built in sorted insertion order (codes follow the
+// order the caller wants) or populated from integers directly, in which
+// case the integer itself is the code and the natural numeric order is
+// used.
+package values
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a dictionary-encoded domain value. Ordering of Values defines
+// the ordering of the domain used by LEX orders.
+type Value = int64
+
+// Dict is a bidirectional mapping between string constants and Values.
+// The zero value is not usable; use NewDict.
+type Dict struct {
+	toCode map[string]Value
+	toName []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{toCode: make(map[string]Value)}
+}
+
+// Intern returns the code of name, assigning the next free code if name
+// is new. Codes are assigned in first-seen order; use SortedDict when the
+// code order must agree with the lexicographic order of the names.
+func (d *Dict) Intern(name string) Value {
+	if v, ok := d.toCode[name]; ok {
+		return v
+	}
+	v := Value(len(d.toName))
+	d.toCode[name] = v
+	d.toName = append(d.toName, name)
+	return v
+}
+
+// Lookup returns the code of name and whether it is present.
+func (d *Dict) Lookup(name string) (Value, bool) {
+	v, ok := d.toCode[name]
+	return v, ok
+}
+
+// Name returns the string form of v, or a placeholder for codes that were
+// never interned (e.g. raw integer data).
+func (d *Dict) Name(v Value) string {
+	if v >= 0 && int(v) < len(d.toName) {
+		return d.toName[v]
+	}
+	return fmt.Sprintf("#%d", v)
+}
+
+// Len returns the number of interned values.
+func (d *Dict) Len() int { return len(d.toName) }
+
+// SortedDict builds a dictionary from names such that code order equals
+// the sorted order of the names. Duplicate names are interned once.
+func SortedDict(names []string) *Dict {
+	uniq := make([]string, 0, len(names))
+	seen := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		if _, ok := seen[n]; !ok {
+			seen[n] = struct{}{}
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	d := NewDict()
+	for _, n := range uniq {
+		d.Intern(n)
+	}
+	return d
+}
+
+// Packer builds composite values out of pairs of values. The §8 reductions
+// of the paper (and the maximal-contraction transformer of Lemma 7.7)
+// replace a variable's value by the concatenation of the values it
+// implies/absorbs; Packer assigns a fresh code to each distinct pair and
+// can invert the packing.
+//
+// Pack preserves order in the following sense: codes are assigned in
+// ascending order of first use, so callers that need an order-compatible
+// packing must pack pairs in the desired order (the SUM machinery does
+// not depend on code order, and the LEX machinery packs in sorted order).
+type Packer struct {
+	codes map[[2]Value]Value
+	pairs [][2]Value
+	base  Value
+}
+
+// NewPacker returns a Packer whose fresh codes start at base. Choose base
+// above any code used by the underlying data to keep packed and plain
+// codes disjoint.
+func NewPacker(base Value) *Packer {
+	return &Packer{codes: make(map[[2]Value]Value), base: base}
+}
+
+// Pack returns the code for the pair (a, b), allocating one if needed.
+func (p *Packer) Pack(a, b Value) Value {
+	k := [2]Value{a, b}
+	if c, ok := p.codes[k]; ok {
+		return c
+	}
+	c := p.base + Value(len(p.pairs))
+	p.codes[k] = c
+	p.pairs = append(p.pairs, k)
+	return c
+}
+
+// Unpack inverts Pack. The second return value is false if v was not
+// produced by this Packer.
+func (p *Packer) Unpack(v Value) (a, b Value, ok bool) {
+	i := v - p.base
+	if i < 0 || int(i) >= len(p.pairs) {
+		return 0, 0, false
+	}
+	return p.pairs[i][0], p.pairs[i][1], true
+}
+
+// Len returns the number of distinct pairs packed so far.
+func (p *Packer) Len() int { return len(p.pairs) }

@@ -1,0 +1,85 @@
+package values
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("boston")
+	b := d.Intern("nyc")
+	if a == b {
+		t.Fatal("distinct names must get distinct codes")
+	}
+	if d.Intern("boston") != a {
+		t.Fatal("intern must be idempotent")
+	}
+	if d.Name(a) != "boston" || d.Name(b) != "nyc" {
+		t.Fatal("name round trip failed")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("lookup of missing name must fail")
+	}
+}
+
+func TestNameOfUninterned(t *testing.T) {
+	d := NewDict()
+	if got := d.Name(42); got != "#42" {
+		t.Fatalf("Name(42) = %q", got)
+	}
+}
+
+func TestSortedDictOrder(t *testing.T) {
+	d := SortedDict([]string{"pear", "apple", "fig", "apple"})
+	va, _ := d.Lookup("apple")
+	vf, _ := d.Lookup("fig")
+	vp, _ := d.Lookup("pear")
+	if !(va < vf && vf < vp) {
+		t.Fatalf("codes must follow sorted name order: %d %d %d", va, vf, vp)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("duplicates must be interned once, Len=%d", d.Len())
+	}
+}
+
+func TestPackerRoundTrip(t *testing.T) {
+	p := NewPacker(1000)
+	c1 := p.Pack(3, 4)
+	c2 := p.Pack(4, 3)
+	if c1 == c2 {
+		t.Fatal("(3,4) and (4,3) must pack differently")
+	}
+	if p.Pack(3, 4) != c1 {
+		t.Fatal("pack must be idempotent")
+	}
+	a, b, ok := p.Unpack(c1)
+	if !ok || a != 3 || b != 4 {
+		t.Fatalf("unpack = %d,%d,%v", a, b, ok)
+	}
+	if _, _, ok := p.Unpack(999); ok {
+		t.Fatal("unpack below base must fail")
+	}
+	if _, _, ok := p.Unpack(1002); ok {
+		t.Fatal("unpack of unallocated code must fail")
+	}
+}
+
+func TestPackerQuick(t *testing.T) {
+	p := NewPacker(1 << 40)
+	f := func(a, b int32) bool {
+		c := p.Pack(Value(a), Value(b))
+		x, y, ok := p.Unpack(c)
+		return ok && x == Value(a) && y == Value(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package rankedaccess
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rankedaccess/internal/enum"
+	"rankedaccess/internal/order"
+)
+
+func exampleDB() *Instance {
+	in := NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 1, 2)
+	in.AddRow("R", 6, 2)
+	in.AddRow("S", 5, 3)
+	in.AddRow("S", 5, 4)
+	in.AddRow("S", 5, 6)
+	in.AddRow("S", 2, 5)
+	return in
+}
+
+func TestFacadeDirectAccess(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	l, err := ParseLex(q, "x, y, z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := NewDirectAccess(q, exampleDB(), l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.Total() != 5 {
+		t.Fatalf("total = %d", da.Total())
+	}
+	a, err := da.Access(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AnswerTuple(q, a); !reflect.DeepEqual(got, []Value{1, 5, 4}) {
+		t.Fatalf("answer #3 = %v", got)
+	}
+	if k, err := da.Inverted(a); err != nil || k != 2 {
+		t.Fatalf("inverted = %d, %v", k, err)
+	}
+}
+
+func TestFacadeClassify(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	l, _ := ParseLex(q, "x, z, y")
+	if v := Classify(DirectAccessLex, q, l, nil); v.Tractable {
+		t.Fatal("trio order must be intractable")
+	}
+	if v := Classify(SelectionLex, q, l, nil); !v.Tractable {
+		t.Fatal("selection must be tractable")
+	}
+	if v := Classify(DirectAccessSum, q, LexOrder{}, nil); v.Tractable {
+		t.Fatal("2-path DA by SUM must be intractable")
+	}
+	if v := Classify(SelectionSum, q, LexOrder{}, nil); !v.Tractable {
+		t.Fatal("2-path selection by SUM must be tractable")
+	}
+	fds, err := ParseFDs(q, "R: x -> y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Classify(DirectAccessLex, q, l, fds); !v.Tractable {
+		t.Fatal("FD must rescue the trio order")
+	}
+}
+
+func TestFacadeSelect(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	l, _ := ParseLex(q, "x, z, y")
+	a, err := Select(q, exampleDB(), l, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2(c): first answer under ⟨x,z,y⟩ is (x=1, z=3, y=5).
+	if got := AnswerTuple(q, a); !reflect.DeepEqual(got, []Value{1, 5, 3}) {
+		t.Fatalf("selected = %v", got)
+	}
+	if _, err := Select(q, exampleDB(), l, 5, nil); !errors.Is(err, ErrOutOfBound) {
+		t.Fatal("out of bound expected")
+	}
+}
+
+func TestFacadeSelectBySum(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	w := IdentitySum(q.Head...)
+	// Median (index 2) of weights {8, 9, 10, 12, 13} is 10.
+	a, err := SelectBySum(q, exampleDB(), w, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.AnswerWeight(q, a); got != 10 {
+		t.Fatalf("median weight = %v", got)
+	}
+}
+
+func TestFacadeCount(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	n, err := Count(q, exampleDB())
+	if err != nil || n != 5 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestFacadeSumEnumerator(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	e, err := NewSumEnumerator(q, exampleDB(), IdentitySum(q.Head...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, weights := e.Drain(-1)
+	if !reflect.DeepEqual(weights, []float64{8, 9, 10, 12, 13}) {
+		t.Fatalf("weights = %v", weights)
+	}
+}
+
+func TestFacadeTableSumAndSumAccess(t *testing.T) {
+	q := MustParseQuery("Q(x, y) :- R(x, y), S(y, z)")
+	x, _ := q.VarByName("x")
+	w := TableSum(map[VarID]map[Value]float64{x: {1: 100, 6: -1}})
+	sa, err := NewDirectAccessSum(q, exampleDB(), w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sa.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[x] != 6 {
+		t.Fatalf("lightest answer should have x=6, got %d", first[x])
+	}
+}
+
+func TestFacadeRandomOrder(t *testing.T) {
+	q := MustParseQuery("Q(x, y, z) :- R(x, y), S(y, z)")
+	n := 0
+	err := enum.RandomOrder(q, exampleDB(), rand.New(rand.NewSource(1)), func(a order.Answer) bool {
+		n++
+		return true
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("random order enumerated %d, %v", n, err)
+	}
+}
