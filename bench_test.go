@@ -18,9 +18,12 @@ import (
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/baseline"
 	"rankedaccess/internal/classify"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/engine"
 	"rankedaccess/internal/enum"
 	"rankedaccess/internal/fd"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/par"
 	"rankedaccess/internal/selection"
 	"rankedaccess/internal/workload"
 )
@@ -551,6 +554,93 @@ func BenchmarkAblation_MaterializedVsLayered(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Engine: cold build-and-access vs cached access ---
+
+// Cold pays the O(n log n) preprocessing on every request (the version
+// bump purges the cache); cached pays a map lookup plus one O(log n)
+// access. The gap is the whole point of the serving engine.
+func BenchmarkEngine_ColdVsCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	_, in := workload.TwoPath(rng, 1<<14, 1<<11, 0.3)
+	spec := engine.Spec{Query: "Q(x, y, z) :- R(x, y), S(y, z)", Order: "x, y, z"}
+	probe := func(b *testing.B, e *engine.Engine) {
+		h, err := e.Prepare(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Access(h.Total() / 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		e := engine.New(in, engine.Options{})
+		for i := 0; i < b.N; i++ {
+			e.Mutate(func(*database.Instance) {}) // invalidate: forces a rebuild
+			probe(b, e)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := engine.New(in, engine.Options{})
+		probe(b, e) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			probe(b, e)
+		}
+	})
+}
+
+// --- Parallel preprocessing: worker fan-out vs pinned-serial ---
+
+func BenchmarkPreprocess_SerialVsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	q, in := workload.TwoPath(rng, 1<<16, 1<<13, 0.3)
+	l, _ := order.ParseLex(q, "x, y, z")
+	for _, mode := range []struct {
+		name  string
+		limit int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			par.SetLimit(mode.limit)
+			defer par.SetLimit(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := access.BuildLex(q, in, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Union construction builds 2^m − 1 member structures — the widest
+// fan-out in the codebase.
+func BenchmarkUnion_BuildSerialVsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	q1 := MustParseQuery("Q1(p, via, q) :- Desk(p, via), Meets(via, q)")
+	q2 := MustParseQuery("Q2(p, via, q) :- Slot(p, via), SlotOf(via, q)")
+	in := NewInstance()
+	for i := 0; i < 1<<13; i++ {
+		in.AddRow("Desk", rng.Int63n(1<<10), rng.Int63n(1<<7))
+		in.AddRow("Meets", rng.Int63n(1<<7), rng.Int63n(1<<10))
+		in.AddRow("Slot", rng.Int63n(1<<10), rng.Int63n(1<<8))
+		in.AddRow("SlotOf", rng.Int63n(1<<8), rng.Int63n(1<<10))
+	}
+	l, _ := ParseLex(q1, "p, via, q")
+	for _, mode := range []struct {
+		name  string
+		limit int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			par.SetLimit(mode.limit)
+			defer par.SetLimit(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := NewUnionAccess([]*Query{q1, q2}, in, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Introduction scenario at scale ---

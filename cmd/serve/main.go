@@ -1,0 +1,91 @@
+// Command serve runs the ranked direct-access engine as an HTTP/JSON
+// service: load an instance (from TSV files at startup and/or POST
+// /load at runtime), then answer /access, /select, /classify, and
+// /count requests. Access structures are cached across requests, so a
+// repeated (query, order) pair skips its O(n log n) preprocessing.
+//
+// Usage:
+//
+//	serve -addr :8080 -data /tmp/data -cache 128 -workers 0
+//
+// Every <data>/<Name>.tsv file (as written by cmd/gen) is loaded as
+// relation <Name>. With -workers 1 preprocessing runs serially; 0 uses
+// all cores.
+//
+// Example session:
+//
+//	curl -s localhost:8080/access -d '{
+//	  "query": "Q(x, y, z) :- R(x, y), S(y, z)",
+//	  "order": "x, y desc, z",
+//	  "ks": [0, 1000, 123456]
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/par"
+	"rankedaccess/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data", "", "directory of <Relation>.tsv files to preload")
+		cache   = flag.Int("cache", engine.DefaultCacheSize, "max cached access structures")
+		workers = flag.Int("workers", 0, "preprocessing worker bound (0 = all cores)")
+	)
+	flag.Parse()
+	par.SetLimit(*workers)
+
+	in := database.NewInstance()
+	if *dataDir != "" {
+		if err := loadDir(in, *dataDir); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	e := engine.New(in, engine.Options{CacheSize: *cache})
+
+	log.Printf("serve: %d tuples loaded, listening on %s", in.Size(), *addr)
+	if err := http.ListenAndServe(*addr, serve.NewHandler(e)); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// loadDir loads every *.tsv file in dir as the relation named by its
+// base name.
+func loadDir(in *database.Instance, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".tsv") {
+			continue
+		}
+		name := strings.TrimSuffix(ent.Name(), ".tsv")
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return err
+		}
+		err = in.ReadRelation(name, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		return fmt.Errorf("no .tsv files in %s", dir)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module rankedaccess
+
+go 1.24

@@ -20,6 +20,7 @@ import (
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/hypergraph"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/par"
 	"rankedaccess/internal/reduce"
 	"rankedaccess/internal/values"
 )
@@ -277,7 +278,9 @@ func (la *Lex) buildTree(full *reduce.Full, completed order.Lex) error {
 	// Materialize layer relations: project the source node, then enforce
 	// every full node's constraint on some covering layer.
 	la.rels = make([]*database.Relation, f)
-	for i := range la.layers {
+	// Each layer projects its own source node into a fresh relation —
+	// independent units, fanned out over bounded workers.
+	par.Do(f, func(i int) {
 		ly := &la.layers[i]
 		src := full.Nodes[ly.srcNode]
 		cols := make([]int, 0, len(ly.keyVars)+1)
@@ -286,7 +289,7 @@ func (la *Lex) buildTree(full *reduce.Full, completed order.Lex) error {
 		}
 		cols = append(cols, src.Col(ly.v))
 		la.rels[i] = src.Rel.Project(cols).Dedup()
-	}
+	})
 	for idx, n := range full.Nodes {
 		// Pick the first covering layer and semijoin it with the node.
 		for i := range la.layers {

@@ -8,6 +8,7 @@ import (
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/par"
 	"rankedaccess/internal/values"
 )
 
@@ -55,13 +56,39 @@ func (la *Lex) sharedCols(parent, child int) (pCols, cCols []int) {
 // the weight of the root bucket.
 func (la *Lex) computeWeights() error {
 	f := len(la.layers)
-	for i := f - 1; i >= 0; i-- {
-		if err := la.bucketize(i); err != nil {
-			return err
-		}
-	}
 	if f == 0 {
 		return nil
+	}
+	// bucketize(i) writes only layer i and reads its children's finished
+	// buckets, so layers at the same height from the leaves are
+	// independent: schedule them as parallel waves, leaves first. Parents
+	// always precede children in index order, so a single descending pass
+	// computes heights.
+	height := make([]int, f)
+	maxH := 0
+	for i := f - 1; i >= 0; i-- {
+		h := 0
+		for _, c := range la.layers[i].children {
+			if height[c]+1 > h {
+				h = height[c] + 1
+			}
+		}
+		height[i] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	waves := make([][]int, maxH+1)
+	for i, h := range height {
+		waves[h] = append(waves[h], i)
+	}
+	for _, wave := range waves {
+		wave := wave
+		if err := par.DoErr(len(wave), func(j int) error {
+			return la.bucketize(wave[j])
+		}); err != nil {
+			return err
+		}
 	}
 	root := &la.layers[0]
 	switch len(root.bucketWeight) {

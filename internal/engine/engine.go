@@ -1,0 +1,555 @@
+// Package engine serves repeated ranked-access workloads over one
+// mutable database instance.
+//
+// The paper's structures pay O(n log n) preprocessing per (query, order)
+// pair and then answer each access in O(log n); a service answering many
+// probes of the same pair must therefore build once and probe many
+// times. The Engine does exactly that:
+//
+//   - it plans each request by running the paper's classification first
+//     and picking the best structure — the layered lexicographic
+//     structure (Theorem 4.1), the SUM structure (Theorem 5.1), or the
+//     materialize-and-sort fallback on the intractable side
+//     (generalizing the facade's NewDirectAccessAny);
+//   - it caches built structures in an LRU keyed by (query text, order,
+//     FD set, SUM variables, instance version), so repeated requests
+//     skip preprocessing entirely;
+//   - concurrent requests for the same missing key share one build
+//     (single-flight), and all structures are immutable after
+//     construction, so any number of goroutines may probe one cached
+//     Handle;
+//   - instance mutation bumps the version and purges the cache, so the
+//     Engine never serves answers computed on stale data (handles
+//     already held by callers keep answering from their consistent
+//     pre-mutation snapshot).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/classify"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/fd"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/selection"
+	"rankedaccess/internal/values"
+)
+
+// ErrNoInverted reports that the planned structure cannot answer
+// inverted access (the SUM structures have no inverse).
+var ErrNoInverted = errors.New("engine: inverted access unsupported for this structure")
+
+// DefaultCacheSize bounds the accessor cache when Options.CacheSize is
+// unset.
+const DefaultCacheSize = 64
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize bounds the number of cached access structures;
+	// DefaultCacheSize when <= 0.
+	CacheSize int
+}
+
+// Spec identifies a ranked-access request against the engine's instance.
+// Exactly the textual inputs a remote caller can send; the engine parses
+// and validates them.
+type Spec struct {
+	// Query is the conjunctive query text, e.g. "Q(x, z) :- R(x, y), S(y, z)".
+	Query string
+	// Order is a lexicographic order such as "x, z desc" (possibly
+	// partial, possibly empty). Ignored when SumBy is set.
+	Order string
+	// SumBy, when non-empty, requests ranking by the sum of the named
+	// variables' values (the identity-weight SUM order).
+	SumBy []string
+	// FDs are unary functional dependencies "R: x -> y" to refine the
+	// classification (§8).
+	FDs []string
+}
+
+// Mode names the structure a plan selected.
+type Mode string
+
+const (
+	// ModeLayeredLex is the ⟨n log n, log n⟩ layered structure.
+	ModeLayeredLex Mode = "layered-lex"
+	// ModeSum is the ⟨n log n, 1⟩ SUM structure.
+	ModeSum Mode = "sum"
+	// ModeMaterialized is the Θ(|Q(I)|) materialize-and-sort fallback
+	// used on the intractable side of the dichotomies.
+	ModeMaterialized Mode = "materialized"
+)
+
+// Plan records the planning outcome for a Spec.
+type Plan struct {
+	// Mode is the structure chosen.
+	Mode Mode
+	// Tractable reports the side of the paper's dichotomy the request
+	// fell on.
+	Tractable bool
+	// Verdict is the classification with its certificate.
+	Verdict classify.Verdict
+}
+
+// Handle is a prepared, immutable, concurrency-safe access structure.
+// Any number of goroutines may call its methods.
+type Handle struct {
+	// Query is the parsed query (answers index its variables).
+	Query *cq.Query
+	// Plan records how the request was served.
+	Plan Plan
+
+	lex      *access.Lex
+	sum      *access.Sum
+	mat      *access.Materialized
+	matIsLex bool      // the materialization is lex-sorted (not SUM-sorted)
+	matLex   order.Lex // realized order of a materialized-lex handle
+}
+
+// Total returns |Q(I)| as of the handle's build.
+func (h *Handle) Total() int64 {
+	switch {
+	case h.lex != nil:
+		return h.lex.Total()
+	case h.sum != nil:
+		return h.sum.Total()
+	default:
+		return h.mat.Total()
+	}
+}
+
+// Access returns the k-th answer in the handle's order.
+func (h *Handle) Access(k int64) (order.Answer, error) {
+	switch {
+	case h.lex != nil:
+		return h.lex.Access(k)
+	case h.sum != nil:
+		return h.sum.Access(k)
+	default:
+		return h.mat.Access(k)
+	}
+}
+
+// Inverted returns the index of an answer, when the underlying structure
+// supports it (layered and materialized lex structures do; SUM-sorted
+// structures do not).
+func (h *Handle) Inverted(a order.Answer) (int64, error) {
+	switch {
+	case h.lex != nil:
+		return h.lex.Inverted(a)
+	case h.matIsLex:
+		return h.mat.Inverted(a, h.matLex)
+	default:
+		return 0, ErrNoInverted
+	}
+}
+
+// HeadTuple projects an answer onto the query head, in head order.
+func (h *Handle) HeadTuple(a order.Answer) []values.Value {
+	out := make([]values.Value, len(h.Query.Head))
+	for i, v := range h.Query.Head {
+		out[i] = a[v]
+	}
+	return out
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Hits and Misses count cache lookups by Prepare.
+	Hits, Misses uint64
+	// Entries is the current number of cached structures.
+	Entries int
+	// Version is the instance version (bumped by every mutation).
+	Version uint64
+	// Tuples is the instance size n.
+	Tuples int
+}
+
+// flight is one in-progress build, shared by concurrent requesters.
+type flight struct {
+	done chan struct{}
+	h    *Handle
+	err  error
+}
+
+// Engine is a concurrency-safe planner/cache over one database instance.
+type Engine struct {
+	// mu guards the instance and version: builds and one-shot reads hold
+	// it shared for their full duration, mutations hold it exclusively,
+	// so a mutation never interleaves with a build.
+	mu      sync.RWMutex
+	in      *database.Instance
+	version uint64
+
+	// cmu guards the cache and the in-flight build table.
+	cmu     sync.Mutex
+	cache   *lru
+	flights map[string]*flight
+
+	hits, misses atomic.Uint64
+}
+
+// New returns an Engine over the given instance. The Engine owns the
+// instance from here on: mutate it only through Mutate/AddRows.
+func New(in *database.Instance, opts Options) *Engine {
+	if in == nil {
+		in = database.NewInstance()
+	}
+	size := opts.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Engine{
+		in:      in,
+		cache:   newLRU(size),
+		flights: make(map[string]*flight),
+	}
+}
+
+// invalidateLocked bumps the version and purges the cache; the caller
+// holds mu exclusively.
+func (e *Engine) invalidateLocked() {
+	e.version++
+	e.cmu.Lock()
+	e.cache.purge()
+	e.cmu.Unlock()
+}
+
+// Mutate applies f to the instance under the exclusive lock, bumps the
+// instance version, and purges the accessor cache, so later requests are
+// planned against the new data. Invalidation happens even when f panics:
+// a partial mutation must not be served from stale cached structures.
+func (e *Engine) Mutate(f func(*database.Instance)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.invalidateLocked()
+	f(e.in)
+}
+
+// AddRows appends rows to the named relation (creating it on first use)
+// and invalidates the cache. The rows are validated against the
+// relation's arity (or each other, for a new relation) before anything
+// is appended, so a bad batch leaves the instance untouched.
+func (e *Engine) AddRows(rel string, rows [][]values.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	arity := len(rows[0])
+	if r := e.in.Relation(rel); r != nil {
+		arity = r.Arity()
+	}
+	for _, row := range rows {
+		if len(row) != arity {
+			return fmt.Errorf("engine: relation %s has arity %d, row has %d", rel, arity, len(row))
+		}
+	}
+	for _, row := range rows {
+		e.in.AddRow(rel, row...)
+	}
+	e.invalidateLocked()
+	return nil
+}
+
+// Version returns the current instance version.
+func (e *Engine) Version() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	version, tuples := e.version, e.in.Size()
+	e.mu.RUnlock()
+	e.cmu.Lock()
+	entries := e.cache.len()
+	e.cmu.Unlock()
+	return Stats{
+		Hits:    e.hits.Load(),
+		Misses:  e.misses.Load(),
+		Entries: entries,
+		Version: version,
+		Tuples:  tuples,
+	}
+}
+
+// key canonicalizes a Spec into a cache key for one instance version.
+// FD and SumBy lists are order-insensitive, and Order is dropped when
+// SumBy is set (parse ignores it, so the built structure is identical).
+func (s Spec) key(version uint64) string {
+	fds := append([]string(nil), s.FDs...)
+	sort.Strings(fds)
+	sumBy := append([]string(nil), s.SumBy...)
+	sort.Strings(sumBy)
+	lexOrder := s.Order
+	if len(sumBy) > 0 {
+		lexOrder = ""
+	}
+	return fmt.Sprintf("%d\x00%s\x00%s\x00%s\x00%s",
+		version, s.Query, lexOrder, strings.Join(sumBy, ","), strings.Join(fds, ";"))
+}
+
+// parsed is a Spec after parsing against its own query.
+type parsed struct {
+	q   *cq.Query
+	l   order.Lex
+	w   order.Sum
+	fds fd.Set
+	sum bool
+}
+
+func (s Spec) parse() (*parsed, error) {
+	q, err := cq.Parse(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsed{q: q}
+	for _, src := range s.FDs {
+		set, err := fd.Parse(q, src)
+		if err != nil {
+			return nil, err
+		}
+		p.fds = append(p.fds, set...)
+	}
+	if len(s.SumBy) > 0 {
+		p.sum = true
+		vars := make([]cq.VarID, len(s.SumBy))
+		for i, name := range s.SumBy {
+			id, ok := q.VarByName(name)
+			if !ok {
+				return nil, fmt.Errorf("engine: sum variable %q not in query", name)
+			}
+			vars[i] = id
+		}
+		p.w = order.IdentitySum(vars...)
+		return p, nil
+	}
+	l, err := order.ParseLex(q, s.Order)
+	if err != nil {
+		return nil, err
+	}
+	p.l = l
+	return p, nil
+}
+
+// Prepare plans the request and returns a ready Handle, serving it from
+// the cache when the same Spec was already built against the current
+// instance version. Concurrent calls for the same missing key perform a
+// single build.
+func (e *Engine) Prepare(s Spec) (*Handle, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	key := s.key(e.version)
+
+	e.cmu.Lock()
+	if h := e.cache.get(key); h != nil {
+		e.cmu.Unlock()
+		e.hits.Add(1)
+		return h, nil
+	}
+	if fl, ok := e.flights[key]; ok {
+		e.cmu.Unlock()
+		e.hits.Add(1)
+		// The builder also holds mu.RLock, so waiting here cannot
+		// deadlock with a writer: both readers run to completion first.
+		<-fl.done
+		return fl.h, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	e.flights[key] = fl
+	e.cmu.Unlock()
+	e.misses.Add(1)
+
+	fl.h, fl.err = e.build(s)
+	close(fl.done)
+
+	e.cmu.Lock()
+	if fl.err == nil {
+		e.cache.add(key, fl.h)
+	}
+	delete(e.flights, key)
+	e.cmu.Unlock()
+	return fl.h, fl.err
+}
+
+// build plans and constructs a structure; the caller holds mu.RLock, so
+// the instance is stable throughout.
+func (e *Engine) build(s Spec) (*Handle, error) {
+	p, err := s.parse()
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{Query: p.q}
+	if p.sum {
+		if len(p.fds) == 0 {
+			h.Plan.Verdict = classify.DirectAccessSum(p.q)
+		} else {
+			h.Plan.Verdict, _ = classify.DirectAccessSumFD(p.q, p.fds)
+		}
+		if h.Plan.Verdict.Tractable {
+			var sa *access.Sum
+			if len(p.fds) == 0 {
+				sa, err = access.BuildSum(p.q, e.in, p.w)
+			} else {
+				sa, err = access.BuildSumFD(p.q, e.in, p.w, p.fds)
+			}
+			if err == nil {
+				h.Plan.Mode, h.Plan.Tractable, h.sum = ModeSum, true, sa
+				return h, nil
+			}
+			var ie *access.IntractableError
+			if !errors.As(err, &ie) {
+				return nil, err
+			}
+		}
+		h.Plan.Mode = ModeMaterialized
+		h.mat = access.BuildMaterializedSum(p.q, e.in, p.w)
+		return h, nil
+	}
+
+	if len(p.fds) == 0 {
+		h.Plan.Verdict = classify.DirectAccessLex(p.q, p.l)
+	} else {
+		h.Plan.Verdict, _ = classify.DirectAccessLexFD(p.q, p.l, p.fds)
+	}
+	if h.Plan.Verdict.Tractable {
+		var la *access.Lex
+		if len(p.fds) == 0 {
+			la, err = access.BuildLex(p.q, e.in, p.l)
+		} else {
+			la, err = access.BuildLexFD(p.q, e.in, p.l, p.fds)
+		}
+		if err == nil {
+			h.Plan.Mode, h.Plan.Tractable, h.lex = ModeLayeredLex, true, la
+			return h, nil
+		}
+		var ie *access.IntractableError
+		if !errors.As(err, &ie) {
+			return nil, err
+		}
+	}
+	h.Plan.Mode = ModeMaterialized
+	h.mat = access.BuildMaterializedLex(p.q, e.in, p.l)
+	h.matIsLex = true
+	h.matLex = p.l
+	return h, nil
+}
+
+// Access is Prepare plus a batch of probes in one call: it returns the
+// handle (for Total and further probes) and one head tuple or error per
+// requested index. The final error reports a planning failure (bad
+// query, bad order); per-index failures such as out-of-bound indices
+// land in errs without failing the batch.
+func (e *Engine) Access(s Spec, ks []int64) (*Handle, [][]values.Value, []error, error) {
+	h, err := e.Prepare(s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tuples := make([][]values.Value, len(ks))
+	errs := make([]error, len(ks))
+	for i, k := range ks {
+		a, err := h.Access(k)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		tuples[i] = h.HeadTuple(a)
+	}
+	return h, tuples, errs, nil
+}
+
+// Select answers the one-shot selection problem — O(n) for lex orders,
+// O(n log n) for SUM — without building or caching any structure.
+func (e *Engine) Select(s Spec, k int64) ([]values.Value, error) {
+	p, err := s.parse()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var a order.Answer
+	switch {
+	case p.sum && len(p.fds) == 0:
+		a, err = selection.SelectSum(p.q, e.in, p.w, k)
+	case p.sum:
+		a, err = selection.SelectSumFD(p.q, e.in, p.w, p.fds, k)
+	case len(p.fds) == 0:
+		a, err = selection.SelectLex(p.q, e.in, p.l, k)
+	default:
+		a, err = selection.SelectLexFD(p.q, e.in, p.l, p.fds, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]values.Value, len(p.q.Head))
+	for i, v := range p.q.Head {
+		out[i] = a[v]
+	}
+	return out, nil
+}
+
+// Count returns |Q(I)| in linear time for free-connex queries.
+func (e *Engine) Count(query string) (int64, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return selection.CountAnswers(q, e.in)
+}
+
+// Problem names for Classify.
+const (
+	ProblemDirectAccessLex = "direct-access-lex"
+	ProblemSelectionLex    = "selection-lex"
+	ProblemDirectAccessSum = "direct-access-sum"
+	ProblemSelectionSum    = "selection-sum"
+)
+
+// Classify runs the paper's dichotomy for the named problem on a Spec.
+func (e *Engine) Classify(problem string, s Spec) (classify.Verdict, error) {
+	p, err := s.parse()
+	if err != nil {
+		return classify.Verdict{}, err
+	}
+	hasFDs := len(p.fds) > 0
+	switch problem {
+	case ProblemDirectAccessLex:
+		if hasFDs {
+			v, _ := classify.DirectAccessLexFD(p.q, p.l, p.fds)
+			return v, nil
+		}
+		return classify.DirectAccessLex(p.q, p.l), nil
+	case ProblemSelectionLex:
+		if hasFDs {
+			v, _ := classify.SelectionLexFD(p.q, p.l, p.fds)
+			return v, nil
+		}
+		return classify.SelectionLex(p.q, p.l), nil
+	case ProblemDirectAccessSum:
+		if hasFDs {
+			v, _ := classify.DirectAccessSumFD(p.q, p.fds)
+			return v, nil
+		}
+		return classify.DirectAccessSum(p.q), nil
+	case ProblemSelectionSum:
+		if hasFDs {
+			v, _ := classify.SelectionSumFD(p.q, p.fds)
+			return v, nil
+		}
+		return classify.SelectionSum(p.q), nil
+	default:
+		return classify.Verdict{}, fmt.Errorf("engine: unknown problem %q", problem)
+	}
+}

@@ -1,0 +1,438 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/values"
+)
+
+const twoPath = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+// smallInstance is the paper's Figure 2 running example.
+func smallInstance() *database.Instance {
+	in := database.NewInstance()
+	in.AddRow("R", 1, 5)
+	in.AddRow("R", 1, 2)
+	in.AddRow("R", 6, 2)
+	in.AddRow("S", 5, 3)
+	in.AddRow("S", 5, 4)
+	in.AddRow("S", 5, 6)
+	in.AddRow("S", 2, 5)
+	return in
+}
+
+// randomInstance generates a denser two-path instance for hammering.
+func randomInstance(n int, dom int64, seed int64) *database.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := database.NewInstance()
+	for i := 0; i < n; i++ {
+		in.AddRow("R", rng.Int63n(dom), rng.Int63n(dom))
+		in.AddRow("S", rng.Int63n(dom), rng.Int63n(dom))
+	}
+	return in
+}
+
+func TestPrepareCachesAndPlans(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	spec := Spec{Query: twoPath, Order: "x, y, z"}
+
+	h1, err := e.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Plan.Mode != ModeLayeredLex || !h1.Plan.Tractable {
+		t.Fatalf("plan = %+v, want tractable layered-lex", h1.Plan)
+	}
+	if h1.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h1.Total())
+	}
+	h2, err := e.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("second Prepare did not hit the cache")
+	}
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestPlanFallsBackToMaterialized(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	// ⟨x, z, y⟩ is the paper's canonical intractable order for the
+	// two-path query.
+	h, err := e.Prepare(Spec{Query: twoPath, Order: "x, z, y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Plan.Mode != ModeMaterialized || h.Plan.Tractable {
+		t.Fatalf("plan = %+v, want intractable materialized", h.Plan)
+	}
+	if h.Plan.Verdict.Tractable {
+		t.Fatal("verdict should be intractable")
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h.Total())
+	}
+	// Inverted access works on the materialized fallback too.
+	a, err := h.Access(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := h.Inverted(a)
+	if err != nil || k != 2 {
+		t.Fatalf("Inverted = (%d, %v), want (2, nil)", k, err)
+	}
+}
+
+func TestPlanSumModes(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	h, err := e.Prepare(Spec{Query: "Q(x, y) :- R(x, y)", SumBy: []string{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Plan.Mode != ModeSum || !h.Plan.Tractable {
+		t.Fatalf("plan = %+v, want tractable sum", h.Plan)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d, want 3", h.Total())
+	}
+	// Sums: 1+5=6, 1+2=3, 6+2=8 → sorted 3, 6, 8.
+	first, err := h.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.HeadTuple(first); got[0]+got[1] != 3 {
+		t.Fatalf("first by sum = %v, want weight 3", got)
+	}
+	if _, err := h.Inverted(first); !errors.Is(err, ErrNoInverted) {
+		t.Fatalf("sum inverted err = %v, want ErrNoInverted", err)
+	}
+
+	// A SUM-intractable query (two-path with projection) falls back.
+	h2, err := e.Prepare(Spec{Query: twoPath, SumBy: []string{"x", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Plan.Mode != ModeMaterialized {
+		t.Fatalf("plan = %+v, want materialized fallback", h2.Plan)
+	}
+	if h2.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h2.Total())
+	}
+	// A SUM-sorted materialization has no inverse either.
+	a2, err := h2.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Inverted(a2); !errors.Is(err, ErrNoInverted) {
+		t.Fatalf("materialized-sum inverted err = %v, want ErrNoInverted", err)
+	}
+
+	// Order is ignored (and not part of the cache key) when SumBy is set.
+	h3, err := e.Prepare(Spec{Query: twoPath, SumBy: []string{"x", "z"}, Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 != h2 {
+		t.Fatal("same SumBy spec with a stray Order rebuilt instead of hitting the cache")
+	}
+}
+
+// TestConcurrentHammer drives one cached Accessor from many goroutines
+// with mixed Access / Total / Inverted probes; run with -race.
+func TestConcurrentHammer(t *testing.T) {
+	e := New(randomInstance(2000, 64, 42), Options{})
+	spec := Spec{Query: twoPath, Order: "x, y desc, z"}
+	h0, err := e.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h0.Total()
+	if total == 0 {
+		t.Fatal("empty join; pick a different seed")
+	}
+	// Golden answers computed serially up front.
+	golden := make([][]values.Value, total)
+	for k := int64(0); k < total; k++ {
+		a, err := h0.Access(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[k] = h0.HeadTuple(a)
+	}
+
+	const goroutines = 16
+	const iters = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				h, err := e.Prepare(spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if h.Total() != total {
+					errs <- errors.New("total changed under a read-only workload")
+					return
+				}
+				k := rng.Int63n(total)
+				a, err := h.Access(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for p, v := range h.HeadTuple(a) {
+					if golden[k][p] != v {
+						errs <- errors.New("answer mismatch under concurrency")
+						return
+					}
+				}
+				if i%3 == 0 {
+					back, err := h.Inverted(a)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if back != k {
+						errs <- errors.New("inverted access disagreed with access")
+						return
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 build for the hammered spec", st.Misses)
+	}
+}
+
+// TestSingleFlight checks that concurrent cold requests for one spec
+// share a single build.
+func TestSingleFlight(t *testing.T) {
+	e := New(randomInstance(500, 32, 7), Options{})
+	spec := Spec{Query: twoPath, Order: "x, y, z"}
+	const goroutines = 12
+	var wg sync.WaitGroup
+	handles := make([]*Handle, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, err := e.Prepare(spec)
+			if err == nil {
+				handles[g] = h
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if handles[g] == nil || handles[g] != handles[0] {
+			t.Fatal("concurrent cold Prepares returned distinct handles")
+		}
+	}
+	if st := e.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single-flight)", st.Misses)
+	}
+}
+
+// TestMutationInvalidates checks that instance mutation is visible to the
+// next Prepare instead of serving stale cached answers.
+func TestMutationInvalidates(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	spec := Spec{Query: twoPath, Order: "x, y, z"}
+	h1, err := e.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h1.Total())
+	}
+
+	// R(7, 5) joins with the three S(5, ·) rows: three new answers.
+	if err := e.AddRows("R", [][]values.Value{{7, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	// A bad batch is rejected before mutating anything.
+	if err := e.AddRows("R", [][]values.Value{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Fatal("arity-mismatched batch accepted")
+	}
+
+	h2, err := e.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == h1 {
+		t.Fatal("mutation did not invalidate the cached handle")
+	}
+	if h2.Total() != 8 {
+		t.Fatalf("total after mutation = %d, want 8", h2.Total())
+	}
+	// The old handle still answers from its consistent snapshot.
+	if h1.Total() != 5 {
+		t.Fatalf("old handle total = %d, want 5", h1.Total())
+	}
+	if st := e.Stats(); st.Version != 1 {
+		t.Fatalf("version = %d, want 1", st.Version)
+	}
+}
+
+// TestConcurrentMutateAndPrepare interleaves mutations with prepares and
+// probes; correctness here is "no race, no crash, monotone totals".
+func TestConcurrentMutateAndPrepare(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	spec := Spec{Query: twoPath, Order: "x, y, z"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := e.AddRows("R", [][]values.Value{{int64(100 + i), 5}}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := e.Prepare(spec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := h.Total(); n > 0 {
+					if _, err := h.Access(rng.Int63n(n)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	h, err := e.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 original answers + 50 new R(·, 5) rows × 3 S(5, ·) rows.
+	if h.Total() != 5+150 {
+		t.Fatalf("final total = %d, want 155", h.Total())
+	}
+}
+
+func TestAccessBatchSelectCount(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	spec := Spec{Query: twoPath, Order: "x, y, z"}
+	h, tuples, errs, err := e.Access(spec, []int64{0, 3, 99})
+	if err != nil || h == nil {
+		t.Fatalf("Access failed to plan: %v", err)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("in-bound errors: %v %v", errs[0], errs[1])
+	}
+	if !errors.Is(errs[2], access.ErrOutOfBound) {
+		t.Fatalf("errs[2] = %v, want out of bound", errs[2])
+	}
+	if tuples[0][0] != 1 || tuples[2] != nil {
+		t.Fatalf("tuples = %v", tuples)
+	}
+
+	sel, err := e.Select(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := h.Access(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h.HeadTuple(direct)
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("Select = %v, Access = %v", sel, want)
+		}
+	}
+
+	n, err := e.Count(twoPath)
+	if err != nil || n != 5 {
+		t.Fatalf("Count = (%d, %v), want (5, nil)", n, err)
+	}
+}
+
+func TestClassifyProblems(t *testing.T) {
+	e := New(smallInstance(), Options{})
+	spec := Spec{Query: twoPath, Order: "x, z, y"}
+	v, err := e.Classify(ProblemDirectAccessLex, spec)
+	if err != nil || v.Tractable {
+		t.Fatalf("DA-lex on ⟨x,z,y⟩ = (%v, %v), want intractable", v.Tractable, err)
+	}
+	v, err = e.Classify(ProblemSelectionLex, spec)
+	if err != nil || !v.Tractable {
+		t.Fatalf("selection-lex on ⟨x,z,y⟩ = (%v, %v), want tractable", v.Tractable, err)
+	}
+	if _, err := e.Classify("nonsense", spec); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+	// FDs flip the two-path DA-lex verdict for ⟨x,z,y⟩ when y → z.
+	vFD, err := e.Classify(ProblemDirectAccessLex, Spec{
+		Query: twoPath, Order: "x, z, y", FDs: []string{"S: y -> z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vFD.Tractable {
+		t.Fatalf("FD-refined verdict = %+v, want tractable", vFD)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(smallInstance(), Options{CacheSize: 2})
+	specs := []Spec{
+		{Query: twoPath, Order: "x, y, z"},
+		{Query: twoPath, Order: "y, x, z"},
+		{Query: twoPath, Order: "y, z, x"},
+	}
+	for _, s := range specs {
+		if _, err := e.Prepare(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want cache bounded at 2", st.Entries)
+	}
+	// The least-recently-used spec rebuilds.
+	before := e.Stats().Misses
+	if _, err := e.Prepare(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Misses != before+1 {
+		t.Fatal("evicted entry was served from cache")
+	}
+}

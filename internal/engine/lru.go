@@ -1,0 +1,50 @@
+package engine
+
+import "container/list"
+
+// lru is a plain LRU map from cache key to *Handle, bounded by cap.
+// It is not goroutine-safe; the Engine guards it.
+type lru struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	h   *Handle
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) *Handle {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).h
+}
+
+func (c *lru) add(key string, h *Handle) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).h = h
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, h: h})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		delete(c.byKey, back.Value.(*lruEntry).key)
+		c.order.Remove(back)
+	}
+}
+
+func (c *lru) purge() {
+	c.order.Init()
+	clear(c.byKey)
+}
+
+func (c *lru) len() int { return c.order.Len() }

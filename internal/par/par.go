@@ -1,0 +1,85 @@
+// Package par provides the bounded-worker fan-out used by the
+// preprocessing pipelines: per-atom materialization in reduce, per-layer
+// bucketing in access, and per-intersection construction in ucq all run
+// their independent units through Do/DoErr.
+//
+// The worker bound is process-global so that benchmarks and servers can
+// pin preprocessing to a single core (SetLimit(1) restores fully serial
+// behavior, byte-for-byte identical results) or widen it. Nested Do calls
+// are safe: each call spawns its own workers, so a parallel build whose
+// units themselves call Do simply oversubscribes a little rather than
+// deadlocking.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limit is the configured worker bound; 0 means GOMAXPROCS.
+var limit atomic.Int64
+
+// SetLimit bounds the number of workers used by subsequent Do/DoErr
+// calls. n <= 0 resets to the default (GOMAXPROCS at call time).
+func SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	limit.Store(int64(n))
+}
+
+// Limit reports the effective worker bound.
+func Limit() int {
+	if n := int(limit.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs f(i) for every i in [0, n), fanning out across at most Limit()
+// goroutines. It returns when all calls have completed. With a limit of
+// one (or n == 1) it degenerates to a plain loop on the calling
+// goroutine, so serial semantics are always recoverable.
+func Do(n int, f func(int)) {
+	workers := Limit()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr is Do for units that can fail. Every unit runs regardless of
+// other units' failures (results stay deterministic); the first error in
+// index order is returned.
+func DoErr(n int, f func(int) error) error {
+	errs := make([]error, n)
+	Do(n, func(i int) { errs[i] = f(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, lim := range []int{0, 1, 3} {
+		SetLimit(lim)
+		const n = 1000
+		var seen [n]atomic.Int64
+		Do(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("limit %d: index %d ran %d times", lim, i, got)
+			}
+		}
+	}
+	SetLimit(0)
+}
+
+func TestDoErrFirstErrorInIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := DoErr(10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want first-index error %v", err, errA)
+	}
+	if err := DoErr(5, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDoZeroAndOne(t *testing.T) {
+	Do(0, func(int) { t.Fatal("must not run") })
+	ran := false
+	Do(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single unit did not run")
+	}
+}

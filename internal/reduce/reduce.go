@@ -17,6 +17,7 @@ import (
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/hypergraph"
+	"rankedaccess/internal/par"
 	"rankedaccess/internal/values"
 )
 
@@ -128,13 +129,18 @@ func FreeReduce(q *cq.Query, in *database.Instance) (*Full, error) {
 		return nil, err
 	}
 	free := hypergraph.VSet(q.Free())
-	nodes := make([]*Node, 0, len(q.Atoms))
-	for i := range q.Atoms {
+	// Per-atom materialization (project, dedup, repeated-position filter)
+	// is independent across atoms; fan it out over bounded workers.
+	nodes := make([]*Node, len(q.Atoms))
+	if err := par.DoErr(len(q.Atoms), func(i int) error {
 		n, err := atomNode(q, i, in)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		nodes = append(nodes, n)
+		nodes[i] = n
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	for changed := true; changed; {

@@ -1,0 +1,260 @@
+// Package serve exposes an engine.Engine as an HTTP/JSON service — the
+// front end cmd/serve mounts. All request bodies are JSON; answers are
+// head tuples of dictionary-encoded int64 values.
+//
+// Endpoints:
+//
+//	POST /load      {"relation": "R", "rows": [[1,2], ...]}
+//	POST /access    {"query", "order"|"sum_by", "fds", "ks": [0, 7, ...]}
+//	POST /select    {"query", "order"|"sum_by", "fds", "k"}
+//	POST /classify  {"problem", "query", "order", "fds"}
+//	POST /count     {"query"}
+//	GET  /stats
+//
+// /access is batched: any number of indices is answered with a single
+// plan/cache lookup, so a cold query pays one preprocessing and a warm
+// query pays none.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/values"
+)
+
+// maxBody bounds request bodies (a /load of a few million rows fits).
+const maxBody = 256 << 20
+
+// NewHandler mounts the API for one engine.
+func NewHandler(e *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) { handleLoad(e, w, r) })
+	mux.HandleFunc("POST /access", func(w http.ResponseWriter, r *http.Request) { handleAccess(e, w, r) })
+	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) { handleSelect(e, w, r) })
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) { handleClassify(e, w, r) })
+	mux.HandleFunc("POST /count", func(w http.ResponseWriter, r *http.Request) { handleCount(e, w, r) })
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { handleStats(e, w, r) })
+	return mux
+}
+
+// specPayload is the request fragment shared by the query endpoints.
+type specPayload struct {
+	Query string   `json:"query"`
+	Order string   `json:"order,omitempty"`
+	SumBy []string `json:"sum_by,omitempty"`
+	FDs   []string `json:"fds,omitempty"`
+}
+
+func (p specPayload) spec() engine.Spec {
+	return engine.Spec{Query: p.Query, Order: p.Order, SumBy: p.SumBy, FDs: p.FDs}
+}
+
+type loadRequest struct {
+	Relation string           `json:"relation"`
+	Rows     [][]values.Value `json:"rows"`
+}
+
+type loadResponse struct {
+	Relation string `json:"relation"`
+	Loaded   int    `json:"loaded"`
+	Version  uint64 `json:"version"`
+}
+
+func handleLoad(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Relation == "" {
+		fail(w, http.StatusBadRequest, errors.New("serve: relation is required"))
+		return
+	}
+	// AddRows validates arity (against the existing relation or within
+	// the batch) before mutating anything.
+	if err := e.AddRows(req.Relation, req.Rows); err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, loadResponse{Relation: req.Relation, Loaded: len(req.Rows), Version: e.Version()})
+}
+
+type accessRequest struct {
+	specPayload
+	Ks []int64 `json:"ks"`
+}
+
+type accessAnswer struct {
+	K     int64          `json:"k"`
+	Tuple []values.Value `json:"tuple,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+type accessResponse struct {
+	Total     int64          `json:"total"`
+	Mode      string         `json:"mode"`
+	Tractable bool           `json:"tractable"`
+	Verdict   string         `json:"verdict"`
+	Answers   []accessAnswer `json:"answers"`
+}
+
+func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req accessRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	h, tuples, errs, err := e.Access(req.spec(), req.Ks)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := accessResponse{
+		Total:     h.Total(),
+		Mode:      string(h.Plan.Mode),
+		Tractable: h.Plan.Tractable,
+		Verdict:   h.Plan.Verdict.String(),
+		Answers:   make([]accessAnswer, len(req.Ks)),
+	}
+	for i, k := range req.Ks {
+		resp.Answers[i].K = k
+		if errs[i] != nil {
+			resp.Answers[i].Error = publicErr(errs[i])
+			continue
+		}
+		resp.Answers[i].Tuple = tuples[i]
+	}
+	reply(w, resp)
+}
+
+type selectRequest struct {
+	specPayload
+	K int64 `json:"k"`
+}
+
+type selectResponse struct {
+	K     int64          `json:"k"`
+	Tuple []values.Value `json:"tuple"`
+}
+
+func handleSelect(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tuple, err := e.Select(req.spec(), req.K)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, access.ErrOutOfBound) {
+			status = http.StatusNotFound
+		}
+		fail(w, status, err)
+		return
+	}
+	reply(w, selectResponse{K: req.K, Tuple: tuple})
+}
+
+type classifyRequest struct {
+	specPayload
+	Problem string `json:"problem"`
+}
+
+type classifyResponse struct {
+	Tractable bool     `json:"tractable"`
+	Bound     string   `json:"bound"`
+	Verdict   string   `json:"verdict"`
+	Trio      []string `json:"trio,omitempty"`
+}
+
+func handleClassify(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Problem == "" {
+		req.Problem = engine.ProblemDirectAccessLex
+	}
+	v, err := e.Classify(req.Problem, req.spec())
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, classifyResponse{Tractable: v.Tractable, Bound: v.Bound, Verdict: v.String(), Trio: v.Trio})
+}
+
+type countRequest struct {
+	Query string `json:"query"`
+}
+
+type countResponse struct {
+	Count int64 `json:"count"`
+}
+
+func handleCount(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req countRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	n, err := e.Count(req.Query)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, countResponse{Count: n})
+}
+
+type statsResponse struct {
+	Hits    uint64 `json:"cache_hits"`
+	Misses  uint64 `json:"cache_misses"`
+	Entries int    `json:"cache_entries"`
+	Version uint64 `json:"version"`
+	Tuples  int    `json:"tuples"`
+}
+
+func handleStats(e *engine.Engine, w http.ResponseWriter, _ *http.Request) {
+	st := e.Stats()
+	reply(w, statsResponse{
+		Hits: st.Hits, Misses: st.Misses, Entries: st.Entries,
+		Version: st.Version, Tuples: st.Tuples,
+	})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func fail(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func reply(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// publicErr maps per-index access errors to stable API strings.
+func publicErr(err error) string {
+	switch {
+	case errors.Is(err, access.ErrOutOfBound):
+		return "out of bound"
+	case errors.Is(err, access.ErrNotAnAnswer):
+		return "not an answer"
+	default:
+		return err.Error()
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+	"rankedaccess/internal/workload"
+)
+
+const twoPath = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+func post(t *testing.T, srv *httptest.Server, path string, body any, into any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("%s: decoding response: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// TestAccessEndToEnd drives POST /access against a generated instance
+// and cross-checks every answer with the library.
+func TestAccessEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q, in := workload.TwoPath(rng, 512, 64, 0.3)
+	e := engine.New(in, engine.Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	// Golden structure straight from the engine.
+	h, err := e.Prepare(engine.Spec{Query: twoPath, Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.Total()
+	if total == 0 {
+		t.Fatal("empty join")
+	}
+
+	ks := []int64{0, total / 2, total - 1, total + 5}
+	var resp accessResponse
+	post(t, srv, "/access", accessRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		Ks:          ks,
+	}, &resp)
+
+	if resp.Total != total || !resp.Tractable || resp.Mode != string(engine.ModeLayeredLex) {
+		t.Fatalf("response header = %+v, want total %d tractable layered-lex", resp, total)
+	}
+	for i, k := range ks[:3] {
+		a, err := h.Access(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h.HeadTuple(a)
+		got := resp.Answers[i].Tuple
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: tuple %v, want %v", k, got, want)
+		}
+		for p := range want {
+			if got[p] != want[p] {
+				t.Fatalf("k=%d: tuple %v, want %v", k, got, want)
+			}
+		}
+	}
+	if resp.Answers[3].Error != "out of bound" {
+		t.Fatalf("out-of-range probe: %+v", resp.Answers[3])
+	}
+	_ = q
+}
+
+func TestLoadThenQueryLifecycle(t *testing.T) {
+	e := engine.New(database.NewInstance(), engine.Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	var lr loadResponse
+	post(t, srv, "/load", loadRequest{Relation: "R", Rows: [][]values.Value{{1, 5}, {1, 2}, {6, 2}}}, &lr)
+	if lr.Loaded != 3 || lr.Version != 1 {
+		t.Fatalf("load R = %+v", lr)
+	}
+	post(t, srv, "/load", loadRequest{Relation: "S", Rows: [][]values.Value{{5, 3}, {5, 4}, {5, 6}, {2, 5}}}, &lr)
+	if lr.Version != 2 {
+		t.Fatalf("load S = %+v", lr)
+	}
+
+	var cr countResponse
+	post(t, srv, "/count", countRequest{Query: twoPath}, &cr)
+	if cr.Count != 5 {
+		t.Fatalf("count = %d, want 5", cr.Count)
+	}
+
+	var ar accessResponse
+	post(t, srv, "/access", accessRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		Ks:          []int64{0},
+	}, &ar)
+	if ar.Total != 5 || len(ar.Answers) != 1 || ar.Answers[0].Error != "" {
+		t.Fatalf("access = %+v", ar)
+	}
+	first := ar.Answers[0].Tuple
+
+	var sr selectResponse
+	post(t, srv, "/select", selectRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		K:           0,
+	}, &sr)
+	for p := range first {
+		if sr.Tuple[p] != first[p] {
+			t.Fatalf("select %v != access %v", sr.Tuple, first)
+		}
+	}
+
+	// Loading more rows invalidates the cache: the same access now sees
+	// the new answers.
+	post(t, srv, "/load", loadRequest{Relation: "R", Rows: [][]values.Value{{7, 5}}}, &lr)
+	post(t, srv, "/access", accessRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		Ks:          []int64{0},
+	}, &ar)
+	if ar.Total != 8 {
+		t.Fatalf("total after load = %d, want 8", ar.Total)
+	}
+
+	var st statsResponse
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != 8 || st.Version != 3 || st.Misses < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClassifyAndSumEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	_, in := workload.TwoPath(rng, 128, 16, 0.3)
+	e := engine.New(in, engine.Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	var cl classifyResponse
+	post(t, srv, "/classify", classifyRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, z, y"},
+		Problem:     engine.ProblemDirectAccessLex,
+	}, &cl)
+	if cl.Tractable {
+		t.Fatalf("⟨x,z,y⟩ classified tractable: %+v", cl)
+	}
+	if len(cl.Trio) == 0 {
+		t.Fatalf("intractable verdict lacks a disruptive-trio certificate: %+v", cl)
+	}
+
+	// SUM access over a full single-atom query is tractable.
+	var ar accessResponse
+	post(t, srv, "/access", accessRequest{
+		specPayload: specPayload{Query: "Q(x, y) :- R(x, y)", SumBy: []string{"x", "y"}},
+		Ks:          []int64{0, 1},
+	}, &ar)
+	if ar.Mode != string(engine.ModeSum) || !ar.Tractable {
+		t.Fatalf("sum access = %+v", ar)
+	}
+	if len(ar.Answers) != 2 || ar.Answers[0].Error != "" || ar.Answers[1].Error != "" {
+		t.Fatalf("sum answers = %+v", ar.Answers)
+	}
+	w0 := ar.Answers[0].Tuple[0] + ar.Answers[0].Tuple[1]
+	w1 := ar.Answers[1].Tuple[0] + ar.Answers[1].Tuple[1]
+	if w0 > w1 {
+		t.Fatalf("sum order violated: %d then %d", w0, w1)
+	}
+	_ = order.Lex{}
+}
+
+func TestBadRequests(t *testing.T) {
+	e := engine.New(database.NewInstance(), engine.Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	// Establish T with arity 2 so the arity-mismatch-with-existing case
+	// below is exercised.
+	if resp := post(t, srv, "/load", loadRequest{Relation: "T", Rows: [][]values.Value{{1, 2}}}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seeding T: status %d", resp.StatusCode)
+	}
+
+	cases := []struct {
+		path string
+		body any
+	}{
+		{"/access", accessRequest{specPayload: specPayload{Query: "not a query"}}},
+		{"/access", accessRequest{specPayload: specPayload{Query: twoPath, Order: "nosuchvar"}}},
+		{"/count", countRequest{Query: ""}},
+		{"/load", loadRequest{Relation: ""}},
+		{"/load", loadRequest{Relation: "R", Rows: [][]values.Value{{1}, {1, 2}}}},
+		{"/load", loadRequest{Relation: "T", Rows: [][]values.Value{{1, 2, 3}}}}, // arity clash with existing T
+
+		{"/classify", classifyRequest{specPayload: specPayload{Query: twoPath}, Problem: "nonsense"}},
+	}
+	for _, c := range cases {
+		resp := post(t, srv, c.path, c.body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %+v: status %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+
+	// Wrong method.
+	resp, err := srv.Client().Get(srv.URL + "/access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /access: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/hypergraph"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/par"
 	"rankedaccess/internal/values"
 )
 
@@ -122,14 +123,19 @@ func BuildUnion(queries []*cq.Query, in *database.Instance, l order.Lex) (*Union
 	}
 	u.Completed = completed
 
-	for i, qi := range intersections {
+	// The 2^m − 1 per-intersection structures are independent of each
+	// other: build them concurrently over bounded workers and assemble
+	// sequentially afterwards so subs stay in deterministic mask order.
+	subs := make([]*subStructure, len(intersections))
+	if err := par.DoErr(len(intersections), func(i int) error {
+		qi := intersections[i]
 		// Per-intersection order: completed positions mapped to qi's ids.
 		entries := make([]order.LexEntry, len(completed))
 		headIDs := make([]cq.VarID, len(headNames))
 		for p, name := range headNames {
 			id, ok := qi.VarByName(name)
 			if !ok {
-				return nil, fmt.Errorf("ucq: internal: head variable %s missing from intersection", name)
+				return fmt.Errorf("ucq: internal: head variable %s missing from intersection", name)
 			}
 			headIDs[p] = id
 		}
@@ -138,16 +144,22 @@ func BuildUnion(queries []*cq.Query, in *database.Instance, l order.Lex) (*Union
 		}
 		la, err := access.BuildLex(qi, in, order.Lex{Entries: entries})
 		if err != nil {
-			return nil, fmt.Errorf("ucq: intersection %b: %w", masks[i], err)
+			return fmt.Errorf("ucq: intersection %b: %w", masks[i], err)
 		}
 		sign := int64(1)
 		if popcount(masks[i])%2 == 0 {
 			sign = -1
 		}
-		u.subs = append(u.subs, &subStructure{
+		subs[i] = &subStructure{
 			mask: masks[i], sign: sign, q: qi, la: la, headIDs: headIDs,
-		})
-		u.total += sign * la.Total()
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, s := range subs {
+		u.subs = append(u.subs, s)
+		u.total += s.sign * s.la.Total()
 	}
 	if u.total < 0 {
 		return nil, errors.New("ucq: internal: negative union count")

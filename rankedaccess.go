@@ -24,6 +24,17 @@
 // The entry points are ParseQuery / ParseLex / ParseFDs for inputs,
 // Classify for the dichotomies, NewDirectAccess / NewDirectAccessSum for
 // access structures, and Select / SelectBySum for one-shot selection.
+//
+// For serving repeated queries, NewEngine returns a concurrency-safe
+// Engine that plans each request through the classification (layered
+// lexicographic structure, SUM structure, or materialized fallback),
+// caches built structures in an LRU keyed by (query, order, FDs,
+// instance version), shares one build among concurrent requests for the
+// same key, and invalidates on instance mutation. Engine.Prepare yields
+// a Handle safe for unbounded concurrent Access/Total/Inverted probes;
+// Engine.Access answers a batch of indices in one call. Preprocessing
+// fans out across bounded worker goroutines (see internal/par).
+// cmd/serve exposes the same Engine over HTTP/JSON.
 package rankedaccess
 
 import (
@@ -34,6 +45,7 @@ import (
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/decompose"
+	"rankedaccess/internal/engine"
 	"rankedaccess/internal/enum"
 	"rankedaccess/internal/fd"
 	"rankedaccess/internal/order"
@@ -279,6 +291,27 @@ func NewDirectAccessAny(q *Query, in *Instance, l LexOrder, fds FDSet) (acc Acce
 	}
 	return access.BuildMaterializedLex(q, in, l), false, nil
 }
+
+// Engine is the concurrency-safe planning/caching query engine: it
+// classifies each request, builds the best structure (layered lex, SUM,
+// or materialized fallback), caches it in an LRU keyed by (query, order,
+// FD set, instance version), and invalidates on mutation.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine.
+type EngineOptions = engine.Options
+
+// EngineSpec is a textual ranked-access request against an Engine.
+type EngineSpec = engine.Spec
+
+// EngineHandle is a prepared, immutable access structure; safe for
+// concurrent use by any number of goroutines.
+type EngineHandle = engine.Handle
+
+// NewEngine returns an Engine over the given instance. The Engine owns
+// the instance from here on: mutate it only through Engine.Mutate or
+// Engine.AddRows so cached structures are invalidated.
+func NewEngine(in *Instance, opts EngineOptions) *Engine { return engine.New(in, opts) }
 
 // AnswerTuple projects an answer onto the query head, in head order.
 func AnswerTuple(q *Query, a Answer) []Value {
