@@ -7,23 +7,60 @@
 //
 //	rabench                     # all experiments at default scales
 //	rabench -exp thm33 -scale 3 # one experiment, larger sweep
+//
+// Profiling hot-path regressions without editing code:
+//
+//	rabench -exp thm33 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rankedaccess/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "thm33 | thm41 | thm51 | thm61 | thm73 | fig8 | enum | fd | epidemic | all")
-		scale = flag.Int("scale", 2, "sweep scale 1..4 (each step quadruples the largest n)")
-		seed  = flag.Int64("seed", 42, "random seed")
+		exp        = flag.String("exp", "all", "thm33 | thm41 | thm51 | thm61 | thm73 | fig8 | enum | fd | epidemic | all")
+		scale      = flag.Int("scale", 2, "sweep scale 1..4 (each step quadruples the largest n)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rabench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rabench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rabench: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	sweep := func(base int) []int {
 		out := []int{base}

@@ -8,12 +8,61 @@ import (
 	"rankedaccess/internal/values"
 )
 
+// LexBuf holds the scratch state of one access probe, so steady-state
+// probes allocate nothing. A LexBuf may be reused across any number of
+// calls against the structure that created it, but not concurrently:
+// use one LexBuf per goroutine (or the pooling convenience APIs).
+type LexBuf struct {
+	ans    []values.Value
+	bucket []int
+	key    []values.Value
+}
+
+// NewBuf returns a probe buffer sized for this structure.
+func (la *Lex) NewBuf() *LexBuf {
+	return &LexBuf{
+		ans:    make([]values.Value, la.numVars),
+		bucket: make([]int, len(la.layers)),
+		key:    make([]values.Value, la.maxKey),
+	}
+}
+
+// getBuf/putBuf feed the allocating convenience wrappers from a pool so
+// even Access/Rank skip the scratch allocations in steady state.
+func (la *Lex) getBuf() *LexBuf {
+	if b, ok := la.bufs.Get().(*LexBuf); ok {
+		return b
+	}
+	return la.NewBuf()
+}
+
+func (la *Lex) putBuf(b *LexBuf) { la.bufs.Put(b) }
+
 // Access returns the k-th answer (0-based) in the completed
-// lexicographic order, in O(log n) time (Algorithm 1).
+// lexicographic order, in O(log n) time (Algorithm 1). The returned
+// answer is freshly allocated; use AccessInto to reuse a caller buffer.
 func (la *Lex) Access(k int64) (order.Answer, error) {
+	buf := la.getBuf()
+	a, err := la.AccessInto(buf, k)
+	if err != nil {
+		la.putBuf(buf)
+		return nil, err
+	}
+	out := append(order.Answer(nil), a...)
+	la.putBuf(buf)
+	return out, nil
+}
+
+// AccessInto is Access writing into buf: the returned answer aliases
+// buf's storage and is valid until buf's next use. Steady-state calls
+// perform zero allocations (FD-extended structures excepted: their
+// answer projection still copies).
+func (la *Lex) AccessInto(buf *LexBuf, k int64) (order.Answer, error) {
 	if la.boolean {
 		if la.boolTrue && k == 0 {
-			return la.output(make(order.Answer, la.numVars)), nil
+			ans := buf.ans[:la.numVars]
+			clear(ans)
+			return la.output(ans), nil
 		}
 		return nil, ErrOutOfBound
 	}
@@ -21,10 +70,11 @@ func (la *Lex) Access(k int64) (order.Answer, error) {
 		return nil, ErrOutOfBound
 	}
 	f := len(la.layers)
-	bucket := make([]int, f)
+	bucket := buf.bucket[:f]
 	bucket[0] = 0
 	factor := la.total
-	ans := make(order.Answer, la.numVars)
+	ans := buf.ans[:la.numVars]
+	clear(ans) // existential positions must read as zero, as before
 	for i := 0; i < f; i++ {
 		ly := &la.layers[i]
 		b := bucket[i]
@@ -41,7 +91,7 @@ func (la *Lex) Access(k int64) (order.Answer, error) {
 		ans[ly.v] = ly.vals[t]
 		for _, c := range ly.children {
 			child := &la.layers[c]
-			cb, ok := la.childBucket(ly, child, ly.bucketKeys[b], ly.vals[t])
+			cb, ok := la.childBucket(child, ly.bucketOf.Key(b), ly.vals[t], buf.key)
 			if !ok {
 				return nil, fmt.Errorf("access: internal: missing child bucket during access")
 			}
@@ -53,6 +103,40 @@ func (la *Lex) Access(k int64) (order.Answer, error) {
 		return nil, fmt.Errorf("access: internal: residual index %d after descent", k)
 	}
 	return la.output(ans), nil
+}
+
+// AppendTuple appends the head projection of the k-th answer to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+func (la *Lex) AppendTuple(dst []values.Value, k int64) ([]values.Value, error) {
+	buf := la.getBuf()
+	a, err := la.AccessInto(buf, k)
+	if err != nil {
+		la.putBuf(buf)
+		return dst, err
+	}
+	for _, v := range la.Query.Head {
+		dst = append(dst, a[v])
+	}
+	la.putBuf(buf)
+	return dst, nil
+}
+
+// AppendRange appends the head projections of answers k0 ≤ k < k1 to
+// dst, reusing one probe buffer for the whole range so the per-answer
+// overhead is a single descent (no allocation beyond dst growth).
+func (la *Lex) AppendRange(dst []values.Value, k0, k1 int64) ([]values.Value, error) {
+	buf := la.getBuf()
+	defer la.putBuf(buf)
+	for k := k0; k < k1; k++ {
+		a, err := la.AccessInto(buf, k)
+		if err != nil {
+			return dst, err
+		}
+		for _, v := range la.Query.Head {
+			dst = append(dst, a[v])
+		}
+	}
+	return dst, nil
 }
 
 // output applies the FD projection (identity when no FDs are in play).
@@ -88,12 +172,15 @@ func (la *Lex) Rank(a order.Answer) (int64, bool) {
 		// counts answers preceding it on the original-order prefix only.
 		ext = a
 	}
-	f := len(la.layers)
-	bucket := make([]int, f)
-	factor := la.total
 	if la.total == 0 {
 		return 0, false
 	}
+	f := len(la.layers)
+	buf := la.getBuf()
+	defer la.putBuf(buf)
+	bucket := buf.bucket[:f]
+	bucket[0] = 0
+	factor := la.total
 	var k int64
 	exact := ok
 	for i := 0; i < f; i++ {
@@ -122,7 +209,7 @@ func (la *Lex) Rank(a order.Answer) (int64, bool) {
 		k += ly.starts[t] * factor
 		for _, c := range ly.children {
 			child := &la.layers[c]
-			cb, okc := la.childBucket(ly, child, ly.bucketKeys[b], ly.vals[t])
+			cb, okc := la.childBucket(child, ly.bucketOf.Key(b), ly.vals[t], buf.key)
 			if !okc {
 				return k, false
 			}
@@ -175,7 +262,7 @@ func (la *Lex) DumpLayer(i int) []BucketDump {
 	for b := range ly.bucketStart {
 		for t := ly.bucketStart[b]; t < ly.bucketEnd[b]; t++ {
 			out = append(out, BucketDump{
-				Key:    ly.bucketKeys[b],
+				Key:    ly.bucketOf.Key(b),
 				Value:  ly.vals[t],
 				Weight: ly.weights[t],
 				Start:  ly.starts[t],

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"rankedaccess/internal/classify"
 	"rankedaccess/internal/cq"
@@ -22,6 +23,7 @@ import (
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/par"
 	"rankedaccess/internal/reduce"
+	"rankedaccess/internal/tupleidx"
 	"rankedaccess/internal/values"
 )
 
@@ -63,11 +65,20 @@ type layer struct {
 	weights []int64
 	starts  []int64
 
-	bucketOf     map[string]int
+	// bucketOf maps a key-variable tuple to its bucket id; bucket ids are
+	// dense and aligned with bucketStart/bucketEnd/bucketWeight, and the
+	// index's flat key storage holds the per-bucket key values (the old
+	// bucketKeys array).
+	bucketOf     *tupleidx.Index
 	bucketStart  []int
 	bucketEnd    []int
 	bucketWeight []int64
-	bucketKeys   [][]values.Value // key values aligned with keyVars
+
+	// keyFrom gathers this layer's key tuple from the parent's (key, v)
+	// pair without searching: keyFrom[j] is the parent key column holding
+	// the j-th key value, or -1 when it is the parent's layer variable.
+	// nil for the root.
+	keyFrom []int
 }
 
 // Lex is the direct-access structure for a lexicographic order.
@@ -84,6 +95,9 @@ type Lex struct {
 	rels    []*database.Relation // per-layer relations (columns: keyVars..., v)
 	total   int64
 	numVars int
+	maxKey  int // widest key arity across layers (sizes probe scratch)
+
+	bufs sync.Pool // *LexBuf, feeds the allocating convenience APIs
 
 	// boolean handling for queries with no free variables.
 	boolean  bool
@@ -298,6 +312,39 @@ func (la *Lex) buildTree(full *reduce.Full, completed order.Lex) error {
 				la.rels[i] = la.rels[i].Semijoin(lCols, n.Rel, nCols)
 				break
 			}
+		}
+	}
+
+	// Precompute the key gather plan of every non-root layer: each child
+	// key variable is either the parent's layer variable (-1) or sits at
+	// a fixed parent key column. Resolving this once keeps the per-access
+	// child-bucket probes search-free.
+	for i := 1; i < f; i++ {
+		ly := &la.layers[i]
+		parent := &la.layers[ly.parent]
+		ly.keyFrom = make([]int, len(ly.keyVars))
+		for j, u := range ly.keyVars {
+			ly.keyFrom[j] = -1
+			if u == parent.v {
+				continue
+			}
+			found := false
+			for c, pu := range parent.keyVars {
+				if pu == u {
+					ly.keyFrom[j] = c
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("access: internal: child key variable %s not available from parent layer",
+					la.Query.VarName(u))
+			}
+		}
+	}
+	for i := range la.layers {
+		if nk := len(la.layers[i].keyVars); nk > la.maxKey {
+			la.maxKey = nk
 		}
 	}
 	return nil

@@ -2,13 +2,12 @@ package access
 
 import (
 	"fmt"
-	"sort"
 
 	"rankedaccess/internal/checked"
 	"rankedaccess/internal/cq"
-	"rankedaccess/internal/database"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/par"
+	"rankedaccess/internal/tupleidx"
 	"rankedaccess/internal/values"
 )
 
@@ -105,59 +104,75 @@ func (la *Lex) computeWeights() error {
 // bucketize groups layer i's tuples into buckets by key value, sorts each
 // bucket by the layer variable under the layer direction, and computes
 // weights and starts (children of i are already bucketized).
+//
+// Grouping is columnar: the layer relation's flat storage is sorted in
+// place by (key columns ascending, layer value under the direction), and
+// buckets are the equal-key runs. No per-row key is materialized; the
+// only per-layer allocations are the output arrays themselves.
 func (la *Lex) bucketize(i int) error {
 	ly := &la.layers[i]
 	rel := la.rels[i]
 	nk := len(ly.keyVars)
 	n := rel.Len()
+	arity := nk + 1
 
-	// Group rows by key.
-	type row struct {
-		key []values.Value
-		val values.Value
-	}
-	rows := make([]row, n)
-	keyCols := make([]int, nk)
-	for c := range keyCols {
-		keyCols[c] = c
-	}
-	groups := make(map[string][]int, n)
-	var keyBuf []byte
-	orderKeys := make([]string, 0)
-	for t := 0; t < n; t++ {
-		tu := rel.Tuple(t)
-		rows[t] = row{key: append([]values.Value(nil), tu[:nk]...), val: tu[nk]}
-		keyBuf = database.EncodeKey(keyBuf, tu, keyCols)
-		k := string(keyBuf)
-		if _, ok := groups[k]; !ok {
-			orderKeys = append(orderKeys, k)
-		}
-		groups[k] = append(groups[k], t)
-	}
-
-	ly.bucketOf = make(map[string]int, len(groups))
-	for _, k := range orderKeys {
-		idxs := groups[k]
-		// Sort bucket members by value under the layer direction.
-		sort.Slice(idxs, func(a, b int) bool {
-			av, bv := rows[idxs[a]].val, rows[idxs[b]].val
-			if ly.dir == order.Desc {
-				return av > bv
+	if nk == 0 {
+		// Root-shaped layer: one bucket, plain value sort (radix for
+		// large inputs), reversed for descending order.
+		data := rel.Data()
+		tupleidx.SortValues(data)
+		if ly.dir == order.Desc {
+			for a, b := 0, len(data)-1; a < b; a, b = a+1, b-1 {
+				data[a], data[b] = data[b], data[a]
 			}
-			return av < bv
+		}
+	} else {
+		desc := ly.dir == order.Desc
+		tupleidx.SortFlat(rel.Data(), arity, func(a, b []values.Value) bool {
+			for c := 0; c < nk; c++ {
+				if a[c] != b[c] {
+					return a[c] < b[c]
+				}
+			}
+			if desc {
+				return a[nk] > b[nk]
+			}
+			return a[nk] < b[nk]
 		})
-		b := len(ly.bucketStart)
-		ly.bucketOf[k] = b
+	}
+
+	ly.bucketOf = tupleidx.New(nk, n)
+	ly.vals = make([]values.Value, 0, n)
+	ly.weights = make([]int64, 0, n)
+	ly.starts = make([]int64, 0, n)
+	scratch := make([]values.Value, la.maxKey)
+
+	for t := 0; t < n; {
+		key := rel.Tuple(t)[:nk]
+		end := t + 1
+	run:
+		for ; end < n; end++ {
+			next := rel.Tuple(end)
+			for c := 0; c < nk; c++ {
+				if next[c] != key[c] {
+					break run
+				}
+			}
+		}
+		b, added := ly.bucketOf.Insert(key)
+		if !added || b != len(ly.bucketStart) {
+			return fmt.Errorf("access: internal: duplicate bucket key in sorted layer %d", i)
+		}
 		ly.bucketStart = append(ly.bucketStart, len(ly.vals))
-		ly.bucketKeys = append(ly.bucketKeys, rows[idxs[0]].key)
 		bucketSum := checked.NewCounter(0)
-		for _, t := range idxs {
-			w, err := la.tupleWeight(i, rows[t].key, rows[t].val)
+		for ; t < end; t++ {
+			tu := rel.Tuple(t)
+			w, err := la.tupleWeight(i, tu[:nk], tu[nk], scratch)
 			if err != nil {
 				return err
 			}
 			ly.starts = append(ly.starts, bucketSum.Value())
-			ly.vals = append(ly.vals, rows[t].val)
+			ly.vals = append(ly.vals, tu[nk])
 			ly.weights = append(ly.weights, w)
 			bucketSum.Add(w)
 		}
@@ -171,13 +186,14 @@ func (la *Lex) bucketize(i int) error {
 }
 
 // tupleWeight multiplies the weights of the child buckets selected by a
-// tuple of layer i (key values plus the layer-variable value).
-func (la *Lex) tupleWeight(i int, key []values.Value, val values.Value) (int64, error) {
+// tuple of layer i (key values plus the layer-variable value). scratch
+// must have capacity for the widest key of any child layer.
+func (la *Lex) tupleWeight(i int, key []values.Value, val values.Value, scratch []values.Value) (int64, error) {
 	ly := &la.layers[i]
 	w := checked.NewCounter(1)
 	for _, c := range ly.children {
 		child := &la.layers[c]
-		b, ok := la.childBucket(ly, child, key, val)
+		b, ok := la.childBucket(child, key, val, scratch)
 		if !ok {
 			return 0, fmt.Errorf("access: internal: missing child bucket after reduction (layer %d -> %d)", i, c)
 		}
@@ -189,37 +205,18 @@ func (la *Lex) tupleWeight(i int, key []values.Value, val values.Value) (int64, 
 	return w.Value(), nil
 }
 
-// childBucket resolves the bucket of a child layer selected by a parent
-// tuple: each child key variable is either the parent's layer variable or
-// one of the parent's key variables.
-func (la *Lex) childBucket(parent, child *layer, key []values.Value, val values.Value) (int, bool) {
-	var buf []byte
-	for _, u := range child.keyVars {
-		var v values.Value
-		if u == parent.v {
-			v = val
+// childBucket resolves the bucket of a child layer selected by its
+// parent's tuple (key values plus the layer-variable value), gathering
+// the child key into scratch via the precomputed keyFrom plan. Performs
+// no allocation.
+func (la *Lex) childBucket(child *layer, key []values.Value, val values.Value, scratch []values.Value) (int, bool) {
+	probe := scratch[:len(child.keyFrom)]
+	for j, src := range child.keyFrom {
+		if src < 0 {
+			probe[j] = val
 		} else {
-			found := false
-			for c, pu := range parent.keyVars {
-				if pu == u {
-					v = key[c]
-					found = true
-					break
-				}
-			}
-			if !found {
-				return 0, false
-			}
+			probe[j] = key[src]
 		}
-		buf = appendVal(buf, v)
 	}
-	b, ok := child.bucketOf[string(buf)]
-	return b, ok
-}
-
-func appendVal(buf []byte, v values.Value) []byte {
-	u := uint64(v)
-	return append(buf,
-		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
-		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	return child.bucketOf.Lookup(probe)
 }

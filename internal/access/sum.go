@@ -10,6 +10,7 @@ import (
 	"rankedaccess/internal/hypergraph"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/reduce"
+	"rankedaccess/internal/values"
 )
 
 // Sum is the ⟨n log n, 1⟩ direct-access structure by a SUM order for the
@@ -97,13 +98,16 @@ func buildSum(q *cq.Query, in *database.Instance, w order.Sum) (*Sum, error) {
 	}
 	// After the full reduction every tuple of big participates in an
 	// answer, and big's variables are exactly the free variables, so its
-	// tuples are the answers.
+	// tuples are the answers. All answers share one flat backing array
+	// (one allocation instead of one per answer).
 	n := big.Rel.Len()
+	nv := q.NumVars()
+	backing := make([]values.Value, n*nv)
 	s.answers = make([]order.Answer, 0, n)
 	s.weights = make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		t := big.Rel.Tuple(i)
-		a := make(order.Answer, q.NumVars())
+		a := backing[i*nv : (i+1)*nv : (i+1)*nv]
 		for c, v := range big.Vars {
 			a[v] = t[c]
 		}

@@ -15,6 +15,7 @@ import (
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/tupleidx"
 	"rankedaccess/internal/values"
 )
 
@@ -31,21 +32,19 @@ func AllAnswers(q *cq.Query, in *database.Instance) []order.Answer {
 	// keeps the backtracking join from degenerating into a blind product.
 	atomOrder := planAtomOrder(q)
 
-	seen := make(map[string]struct{})
+	seen := tupleidx.New(len(q.Head), 0)
+	headBuf := make([]values.Value, len(q.Head))
 	var answers []order.Answer
-	var key []byte
 
 	var rec func(step int)
 	rec = func(step int) {
 		if step == len(atomOrder) {
-			key = key[:0]
-			for _, v := range q.Head {
-				key = appendValue(key, assignment[v])
+			for i, v := range q.Head {
+				headBuf[i] = assignment[v]
 			}
-			if _, ok := seen[string(key)]; ok {
+			if _, added := seen.Insert(headBuf); !added {
 				return
 			}
-			seen[string(key)] = struct{}{}
 			ans := make(order.Answer, nv)
 			for _, v := range q.Head {
 				ans[v] = assignment[v]
@@ -89,13 +88,6 @@ func AllAnswers(q *cq.Query, in *database.Instance) []order.Answer {
 	}
 	rec(0)
 	return answers
-}
-
-func appendValue(key []byte, v values.Value) []byte {
-	u := uint64(v)
-	return append(key,
-		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
-		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 }
 
 func planAtomOrder(q *cq.Query) []int {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rankedaccess/internal/tupleidx"
 	"rankedaccess/internal/values"
 )
 
@@ -82,21 +83,22 @@ func (r *Relation) Clone() *Relation {
 func (r *Relation) Project(cols []int) *Relation {
 	out := NewRelation(len(cols))
 	n := r.Len()
-	for i := 0; i < n; i++ {
-		t := r.Tuple(i)
-		row := make([]values.Value, len(cols))
-		for j, c := range cols {
-			row[j] = t[c]
-		}
-		out.data = append(out.data, row...)
-	}
 	if len(cols) == 0 {
 		out.data = make([]values.Value, n)
+		return out
+	}
+	out.data = make([]values.Value, 0, n*len(cols))
+	for i := 0; i < n; i++ {
+		t := r.Tuple(i)
+		for _, c := range cols {
+			out.data = append(out.data, t[c])
+		}
 	}
 	return out
 }
 
-// Dedup removes duplicate tuples (order not preserved).
+// Dedup removes duplicate tuples; the distinct tuples appear in
+// first-occurrence order.
 func (r *Relation) Dedup() *Relation {
 	out := NewRelation(r.arity)
 	if r.arity == 0 {
@@ -105,18 +107,13 @@ func (r *Relation) Dedup() *Relation {
 		}
 		return out
 	}
-	seen := make(map[string]struct{}, r.Len())
-	var key []byte
 	n := r.Len()
+	idx := tupleidx.New(r.arity, n)
 	for i := 0; i < n; i++ {
-		t := r.Tuple(i)
-		key = encodeTuple(key[:0], t)
-		if _, ok := seen[string(key)]; ok {
-			continue
-		}
-		seen[string(key)] = struct{}{}
-		out.data = append(out.data, t...)
+		idx.Insert(r.Tuple(i))
 	}
+	// The index's flat key storage is exactly the deduplicated relation.
+	out.data = idx.FlatKeys()
 	return out
 }
 
@@ -157,17 +154,20 @@ func (r *Relation) SortBy(less func(a, b []values.Value) bool) {
 	r.data = sorted
 }
 
-// SortLex sorts tuples in place by columnwise ascending value order.
+// SortLex sorts tuples in place by columnwise ascending value order,
+// operating directly on the flat storage (no per-tuple allocation;
+// equal tuples are interchangeable, so stability is moot).
 func (r *Relation) SortLex() {
-	r.SortBy(func(a, b []values.Value) bool {
-		for i := range a {
-			if a[i] != b[i] {
-				return a[i] < b[i]
-			}
-		}
-		return false
-	})
+	if r.arity == 0 {
+		return
+	}
+	tupleidx.SortLexFlat(r.data, r.arity)
 }
+
+// Data returns the flat tuple storage (stride Arity). It is a mutable
+// view for internal consumers that sort or scan in place; external code
+// should treat it as read-only.
+func (r *Relation) Data() []values.Value { return r.data }
 
 // Semijoin keeps the tuples of r whose projection onto cols appears in
 // the projection of s onto sCols. cols and sCols must have equal length.
@@ -182,23 +182,13 @@ func (r *Relation) Semijoin(cols []int, s *Relation, sCols []int) *Relation {
 		}
 		return NewRelation(r.arity)
 	}
-	set := make(map[string]struct{}, s.Len())
-	var key []byte
+	set := tupleidx.New(len(sCols), s.Len())
 	sn := s.Len()
 	for i := 0; i < sn; i++ {
-		t := s.Tuple(i)
-		key = key[:0]
-		for _, c := range sCols {
-			key = encodeValue(key, t[c])
-		}
-		set[string(key)] = struct{}{}
+		set.InsertCols(s.Tuple(i), sCols)
 	}
 	return r.Filter(func(t []values.Value) bool {
-		key = key[:0]
-		for _, c := range cols {
-			key = encodeValue(key, t[c])
-		}
-		_, ok := set[string(key)]
+		_, ok := set.LookupCols(t, cols)
 		return ok
 	})
 }
@@ -221,15 +211,9 @@ func encodeValue(key []byte, v values.Value) []byte {
 		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
 }
 
-// encodeTuple appends the encoding of all values of t to key.
-func encodeTuple(key []byte, t []values.Value) []byte {
-	for _, v := range t {
-		key = encodeValue(key, v)
-	}
-	return key
-}
-
 // EncodeKey returns a hashable key for the given columns of tuple t.
+// Retained for callers that need a string-embeddable key; hot paths use
+// tupleidx instead.
 func EncodeKey(buf []byte, t []values.Value, cols []int) []byte {
 	buf = buf[:0]
 	for _, c := range cols {

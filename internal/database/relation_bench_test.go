@@ -1,0 +1,75 @@
+package database
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rankedaccess/internal/values"
+)
+
+// Allocation-regression benchmarks for the flat-storage hot paths. Run
+// with -benchmem: Dedup and Semijoin should stay at a handful of
+// allocations per call (the output arrays), not one per tuple.
+
+func randRelation(n, arity int, dom int64, seed int64) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRelation(arity)
+	row := make([]values.Value, arity)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Int63n(dom)
+		}
+		r.Append(row...)
+	}
+	return r
+}
+
+func BenchmarkDedup(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := randRelation(n, 2, int64(n/4), 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r.Dedup().Len() == 0 {
+					b.Fatal("empty dedup")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	r := randRelation(1<<16, 4, 1<<20, 2)
+	cols := []int{2, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Project(cols).Len() != r.Len() {
+			b.Fatal("bad projection")
+		}
+	}
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	r := randRelation(1<<16, 2, 1<<10, 3)
+	s := randRelation(1<<14, 2, 1<<10, 4)
+	cols := []int{0, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Semijoin(cols, s, cols)
+	}
+}
+
+func BenchmarkSortLex(b *testing.B) {
+	r := randRelation(1<<16, 3, 1<<18, 5)
+	work := NewRelation(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.data = append(work.data[:0], r.data...)
+		work.SortLex()
+	}
+}

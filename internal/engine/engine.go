@@ -153,11 +153,64 @@ func (h *Handle) Inverted(a order.Answer) (int64, error) {
 
 // HeadTuple projects an answer onto the query head, in head order.
 func (h *Handle) HeadTuple(a order.Answer) []values.Value {
-	out := make([]values.Value, len(h.Query.Head))
-	for i, v := range h.Query.Head {
-		out[i] = a[v]
+	return h.AppendHeadTuple(make([]values.Value, 0, len(h.Query.Head)), a)
+}
+
+// AppendHeadTuple appends the head projection of a to dst and returns
+// the extended slice, allocating only when dst lacks capacity.
+func (h *Handle) AppendHeadTuple(dst []values.Value, a order.Answer) []values.Value {
+	for _, v := range h.Query.Head {
+		dst = append(dst, a[v])
 	}
-	return out
+	return dst
+}
+
+// Width returns the number of head columns of each answer tuple.
+func (h *Handle) Width() int { return len(h.Query.Head) }
+
+// AppendTuple appends the head tuple of the k-th answer to dst and
+// returns the extended slice. On the layered structure this is the
+// zero-allocation access path (probe scratch comes from a pool, output
+// goes into dst); the other structures only pay dst growth.
+func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error) {
+	switch {
+	case h.lex != nil:
+		return h.lex.AppendTuple(dst, k)
+	case h.sum != nil:
+		a, err := h.sum.Access(k)
+		if err != nil {
+			return dst, err
+		}
+		return h.AppendHeadTuple(dst, a), nil
+	default:
+		a, err := h.mat.Access(k)
+		if err != nil {
+			return dst, err
+		}
+		return h.AppendHeadTuple(dst, a), nil
+	}
+}
+
+// AccessRange appends the head tuples of answers k0 ≤ k < k1 to dst
+// (Width values each, concatenated) and returns the extended slice. The
+// per-call planning and buffer overhead is paid once for the whole
+// range, so batched scans of a built structure run allocation-free
+// modulo dst growth.
+func (h *Handle) AccessRange(dst []values.Value, k0, k1 int64) ([]values.Value, error) {
+	if k0 < 0 || k1 < k0 {
+		return dst, fmt.Errorf("engine: bad access range [%d, %d)", k0, k1)
+	}
+	if h.lex != nil {
+		return h.lex.AppendRange(dst, k0, k1)
+	}
+	for k := k0; k < k1; k++ {
+		var err error
+		dst, err = h.AppendTuple(dst, k)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
 }
 
 // Stats is a snapshot of engine counters.
@@ -457,15 +510,33 @@ func (e *Engine) Access(s Spec, ks []int64) (*Handle, [][]values.Value, []error,
 	}
 	tuples := make([][]values.Value, len(ks))
 	errs := make([]error, len(ks))
+	// One flat backing array serves the whole batch; each answer is a
+	// capped sub-slice of it.
+	flat := make([]values.Value, 0, len(ks)*h.Width())
 	for i, k := range ks {
-		a, err := h.Access(k)
+		start := len(flat)
+		flat, err = h.AppendTuple(flat, k)
 		if err != nil {
 			errs[i] = err
+			flat = flat[:start]
 			continue
 		}
-		tuples[i] = h.HeadTuple(a)
+		tuples[i] = flat[start:len(flat):len(flat)]
 	}
 	return h, tuples, errs, nil
+}
+
+// AccessRange is Prepare plus a contiguous probe batch: it returns the
+// handle and the head tuples of answers k0 ≤ k < k1 appended to dst
+// (h.Width values per answer), amortizing planning, cache lookup, and
+// probe-buffer setup over the whole range.
+func (e *Engine) AccessRange(s Spec, dst []values.Value, k0, k1 int64) (*Handle, []values.Value, error) {
+	h, err := e.Prepare(s)
+	if err != nil {
+		return nil, dst, err
+	}
+	dst, err = h.AccessRange(dst, k0, k1)
+	return h, dst, err
 }
 
 // Select answers the one-shot selection problem — O(n) for lex orders,

@@ -436,3 +436,60 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal("evicted entry was served from cache")
 	}
 }
+
+// TestAccessRangeMatchesAccess checks the batched range path against
+// per-index access on all three structure modes.
+func TestAccessRangeMatchesAccess(t *testing.T) {
+	in := randomInstance(512, 64, 31)
+	e := New(in, Options{})
+	specs := []Spec{
+		{Query: twoPath, Order: "x, y, z"},                       // layered-lex
+		{Query: twoPath, Order: "x, z, y"},                       // materialized (intractable order)
+		{Query: "Q(x, y) :- R(x, y)", SumBy: []string{"x", "y"}}, // sum
+	}
+	for _, s := range specs {
+		h, err := e.Prepare(s)
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		total := h.Total()
+		if total < 4 {
+			t.Fatalf("%+v: too few answers (%d)", s, total)
+		}
+		k0, k1 := total/4, total/4+3
+		_, flat, err := e.AccessRange(s, nil, k0, k1)
+		if err != nil {
+			t.Fatalf("%+v: AccessRange: %v", s, err)
+		}
+		w := h.Width()
+		if len(flat) != int(k1-k0)*w {
+			t.Fatalf("%+v: flat len %d, want %d", s, len(flat), int(k1-k0)*w)
+		}
+		for k := k0; k < k1; k++ {
+			a, err := h.Access(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := h.HeadTuple(a)
+			got := flat[(k-k0)*int64(w) : (k-k0+1)*int64(w)]
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%+v k=%d: got %v, want %v", s, k, got, want)
+				}
+			}
+			// AppendTuple agrees and respects dst.
+			dst := []values.Value{-99}
+			dst, err = h.AppendTuple(dst, k)
+			if err != nil || dst[0] != -99 || len(dst) != 1+w {
+				t.Fatalf("AppendTuple: dst=%v err=%v", dst, err)
+			}
+		}
+		// Bad ranges fail cleanly.
+		if _, err := h.AccessRange(nil, -1, 2); err == nil {
+			t.Fatal("negative k0 accepted")
+		}
+		if _, err := h.AccessRange(nil, total, total+1); err == nil {
+			t.Fatal("out-of-bound range accepted")
+		}
+	}
+}

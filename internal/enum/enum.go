@@ -23,15 +23,35 @@ import (
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/reduce"
+	"rankedaccess/internal/tupleidx"
 	"rankedaccess/internal/values"
 )
 
 // RankedLex enumerates the answers of a tractable (query, lex-order) pair
 // in order, calling emit with the index and answer; it stops early if
-// emit returns false.
+// emit returns false. Each emitted answer is freshly allocated and may
+// be retained; use RankedLexBuffered when emit only inspects answers.
 func RankedLex(la *access.Lex, emit func(k int64, a order.Answer) bool) error {
 	for k := int64(0); k < la.Total(); k++ {
 		a, err := la.Access(k)
+		if err != nil {
+			return err
+		}
+		if !emit(k, a) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RankedLexBuffered is RankedLex with one probe buffer reused across the
+// whole enumeration: the loop performs zero allocations per answer, and
+// the answer passed to emit aliases the buffer, so emit must copy
+// anything it wants to keep past its return.
+func RankedLexBuffered(la *access.Lex, emit func(k int64, a order.Answer) bool) error {
+	buf := la.NewBuf()
+	for k := int64(0); k < la.Total(); k++ {
+		a, err := la.AccessInto(buf, k)
 		if err != nil {
 			return err
 		}
@@ -89,12 +109,23 @@ type SumEnumerator struct {
 	dfs    []int // node indices in DFS pre-order (parents before children)
 	parent []int // parent node index per node index (-1 for root)
 
-	tw      [][]float64        // tuple weight per node
-	best    [][]float64        // best completion of the tuple's subtree
-	buckets []map[string][]int // per node: join key -> tuples sorted by best
+	tw      [][]float64   // tuple weight per node
+	best    [][]float64   // best completion of the tuple's subtree
+	buckets []nodeBuckets // per node: join-key bucket table
 	pq      expHeap
 	boolean bool
 	done    bool
+}
+
+// nodeBuckets groups a node's tuples by join key with the parent: idx
+// maps the key columns (child side) to a dense bucket id, lists[id] is
+// the bucket's tuple list sorted by best-completion weight, and
+// parentCols are the aligned parent-side columns used to probe without
+// materializing a key. The root has idx == nil and a single list.
+type nodeBuckets struct {
+	idx        *tupleidx.Index
+	lists      [][]int
+	parentCols []int
 }
 
 // expansion is a Lawler state: for the first len(ranks) nodes of the DFS
@@ -286,7 +317,7 @@ func (e *SumEnumerator) prepare(tree *reduce.Tree) error {
 	// best(t) = tw(t) + Σ over children of the minimum best in the
 	// child's joining bucket; computed bottom-up (reverse DFS order).
 	e.best = make([][]float64, len(e.nodes))
-	e.buckets = make([]map[string][]int, len(e.nodes))
+	e.buckets = make([]nodeBuckets, len(e.nodes))
 	for i := len(e.dfs) - 1; i >= 0; i-- {
 		u := e.dfs[i]
 		n := e.nodes[u]
@@ -294,24 +325,27 @@ func (e *SumEnumerator) prepare(tree *reduce.Tree) error {
 		for _, c := range tree.Children[u] {
 			child := e.nodes[c]
 			uCols, cCols := reduce.SharedCols(n, child)
-			bk := make(map[string][]int, child.Rel.Len())
-			var key []byte
+			bk := tupleidx.New(len(cCols), child.Rel.Len())
+			lists := make([][]int, 0, child.Rel.Len())
 			for t := 0; t < child.Rel.Len(); t++ {
-				key = database.EncodeKey(key, child.Rel.Tuple(t), cCols)
-				bk[string(key)] = append(bk[string(key)], t)
+				id, added := bk.InsertCols(child.Rel.Tuple(t), cCols)
+				if added {
+					lists = append(lists, nil)
+				}
+				lists[id] = append(lists[id], t)
 			}
-			for k := range bk {
-				idx := bk[k]
-				sort.Slice(idx, func(a, b int) bool { return e.best[c][idx[a]] < e.best[c][idx[b]] })
+			for _, lst := range lists {
+				sort.Slice(lst, func(a, b int) bool { return e.best[c][lst[a]] < e.best[c][lst[b]] })
 			}
-			e.buckets[c] = bk
+			e.buckets[c] = nodeBuckets{idx: bk, lists: lists, parentCols: uCols}
 			for t := 0; t < n.Rel.Len(); t++ {
-				key = database.EncodeKey(key, n.Rel.Tuple(t), uCols)
-				lst, ok := bk[string(key)]
+				// The child-side key over cCols equals the parent-side
+				// values over uCols in the same pairing order.
+				id, ok := bk.LookupCols(n.Rel.Tuple(t), uCols)
 				if !ok {
 					return fmt.Errorf("enum: internal: dangling tuple after reduction")
 				}
-				bestU[t] += e.best[c][lst[0]]
+				bestU[t] += e.best[c][lists[id][0]]
 			}
 		}
 		e.best[u] = bestU
@@ -324,7 +358,7 @@ func (e *SumEnumerator) prepare(tree *reduce.Tree) error {
 		rootIdx[i] = i
 	}
 	sort.Slice(rootIdx, func(a, b int) bool { return e.best[root][rootIdx[a]] < e.best[root][rootIdx[b]] })
-	e.buckets[root] = map[string][]int{"": rootIdx}
+	e.buckets[root] = nodeBuckets{lists: [][]int{rootIdx}}
 
 	if len(rootIdx) > 0 {
 		heap.Push(&e.pq, &expansion{ranks: []int32{0}, bound: e.best[root][rootIdx[0]]})
@@ -333,19 +367,19 @@ func (e *SumEnumerator) prepare(tree *reduce.Tree) error {
 }
 
 // bucketFor returns the best-sorted tuple list of node u given the
-// parent's chosen tuple (or the root bucket).
+// parent's chosen tuple (or the root bucket). Probes are allocation-free:
+// the parent tuple is hashed column-wise, no key is materialized.
 func (e *SumEnumerator) bucketFor(u int, chosen []int) []int {
 	p := e.parent[u]
+	bk := &e.buckets[u]
 	if p < 0 {
-		return e.buckets[u][""]
+		return bk.lists[0]
 	}
-	pNode, cNode := e.nodes[p], e.nodes[u]
-	pCols, _ := reduce.SharedCols(pNode, cNode)
-	// The child-side key over cCols equals the parent-side values over
-	// pCols in the same pairing order, so encoding the parent tuple over
-	// pCols reproduces the preprocessing key.
-	key := database.EncodeKey(nil, pNode.Rel.Tuple(chosen[p]), pCols)
-	return e.buckets[u][string(key)]
+	id, ok := bk.idx.LookupCols(e.nodes[p].Rel.Tuple(chosen[p]), bk.parentCols)
+	if !ok {
+		return nil
+	}
+	return bk.lists[id]
 }
 
 // Next returns the next answer in non-decreasing weight order together

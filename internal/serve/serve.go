@@ -6,6 +6,7 @@
 //
 //	POST /load      {"relation": "R", "rows": [[1,2], ...]}
 //	POST /access    {"query", "order"|"sum_by", "fds", "ks": [0, 7, ...]}
+//	POST /range     {"query", "order"|"sum_by", "fds", "k0", "k1"}
 //	POST /select    {"query", "order"|"sum_by", "fds", "k"}
 //	POST /classify  {"problem", "query", "order", "fds"}
 //	POST /count     {"query"}
@@ -13,14 +14,19 @@
 //
 // /access is batched: any number of indices is answered with a single
 // plan/cache lookup, so a cold query pays one preprocessing and a warm
-// query pays none.
+// query pays none. /range answers a contiguous index window through the
+// engine's AccessRange, which reuses one probe buffer for the whole
+// window. Response encoding goes through pooled buffers, so the handlers
+// allocate per response burst, not per answer.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/engine"
@@ -30,11 +36,35 @@ import (
 // maxBody bounds request bodies (a /load of a few million rows fits).
 const maxBody = 256 << 20
 
+// maxPooledBuf bounds (in bytes) the encode buffers kept in the pool,
+// and maxPooledTuples bounds (in values) the flat answer buffers, so
+// one giant response does not pin its memory forever.
+const (
+	maxPooledBuf    = 1 << 20
+	maxPooledTuples = maxPooledBuf / 8
+)
+
+// encPool recycles JSON encode buffers across responses.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// tuplePool recycles the flat answer buffers of /range responses.
+var tuplePool = sync.Pool{New: func() any { return new([]values.Value) }}
+
+// putTupleBuf returns a flat answer buffer to the pool unless it grew
+// past the cap.
+func putTupleBuf(flatP *[]values.Value, flat []values.Value) {
+	if cap(flat) <= maxPooledTuples {
+		*flatP = flat
+		tuplePool.Put(flatP)
+	}
+}
+
 // NewHandler mounts the API for one engine.
 func NewHandler(e *engine.Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) { handleLoad(e, w, r) })
 	mux.HandleFunc("POST /access", func(w http.ResponseWriter, r *http.Request) { handleAccess(e, w, r) })
+	mux.HandleFunc("POST /range", func(w http.ResponseWriter, r *http.Request) { handleRange(e, w, r) })
 	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) { handleSelect(e, w, r) })
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) { handleClassify(e, w, r) })
 	mux.HandleFunc("POST /count", func(w http.ResponseWriter, r *http.Request) { handleCount(e, w, r) })
@@ -128,6 +158,62 @@ func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 		resp.Answers[i].Tuple = tuples[i]
 	}
 	reply(w, resp)
+}
+
+type rangeRequest struct {
+	specPayload
+	K0 int64 `json:"k0"`
+	K1 int64 `json:"k1"`
+}
+
+type rangeResponse struct {
+	Total     int64            `json:"total"`
+	Mode      string           `json:"mode"`
+	Tractable bool             `json:"tractable"`
+	K0        int64            `json:"k0"`
+	Tuples    [][]values.Value `json:"tuples"`
+}
+
+// maxRange bounds one /range window (the client can page).
+const maxRange = 1 << 20
+
+func handleRange(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K1-req.K0 > maxRange {
+		fail(w, http.StatusBadRequest, fmt.Errorf("serve: range wider than %d; page the request", maxRange))
+		return
+	}
+	flatP := tuplePool.Get().(*[]values.Value)
+	flat := (*flatP)[:0]
+	h, flat, err := e.AccessRange(req.spec(), flat, req.K0, req.K1)
+	if err != nil {
+		putTupleBuf(flatP, flat)
+		status := http.StatusBadRequest
+		if errors.Is(err, access.ErrOutOfBound) {
+			status = http.StatusRequestedRangeNotSatisfiable
+		}
+		fail(w, status, err)
+		return
+	}
+	width := h.Width()
+	resp := rangeResponse{
+		Total: h.Total(), Mode: string(h.Plan.Mode), Tractable: h.Plan.Tractable, K0: req.K0,
+	}
+	n := 0
+	if width > 0 {
+		n = len(flat) / width
+	} else {
+		n = int(req.K1 - req.K0)
+	}
+	resp.Tuples = make([][]values.Value, n)
+	for i := 0; i < n; i++ {
+		resp.Tuples[i] = flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	reply(w, resp)
+	putTupleBuf(flatP, flat)
 }
 
 type selectRequest struct {
@@ -237,14 +323,30 @@ type errorResponse struct {
 }
 
 func fail(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func reply(w http.ResponseWriter, body any) {
+	writeJSON(w, http.StatusOK, body)
+}
+
+// writeJSON encodes through a pooled buffer: one write syscall per
+// response and no per-response encoder garbage. Oversized buffers are
+// dropped instead of pooled.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := encPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		encPool.Put(buf)
+		http.Error(w, `{"error":"serve: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(body)
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encPool.Put(buf)
+	}
 }
 
 // publicErr maps per-index access errors to stable API strings.

@@ -234,3 +234,65 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("GET /access: status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestRangeEndpoint drives POST /range and cross-checks the window
+// against per-index access.
+func TestRangeEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	_, in := workload.TwoPath(rng, 512, 64, 0.3)
+	e := engine.New(in, engine.Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	h, err := e.Prepare(engine.Spec{Query: twoPath, Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.Total()
+	if total < 8 {
+		t.Fatal("workload too small")
+	}
+	k0, k1 := total/4, total/4+5
+
+	var rr rangeResponse
+	post(t, srv, "/range", rangeRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		K0:          k0, K1: k1,
+	}, &rr)
+	if rr.Total != total || rr.K0 != k0 || len(rr.Tuples) != int(k1-k0) {
+		t.Fatalf("range response: %+v", rr)
+	}
+	for i, tu := range rr.Tuples {
+		a, err := h.Access(k0 + int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h.HeadTuple(a)
+		if len(tu) != len(want) {
+			t.Fatalf("tuple %d: %v, want %v", i, tu, want)
+		}
+		for j := range want {
+			if tu[j] != want[j] {
+				t.Fatalf("tuple %d: %v, want %v", i, tu, want)
+			}
+		}
+	}
+
+	// Out-of-bound window → 416.
+	resp := post(t, srv, "/range", rangeRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		K0:          total - 1, K1: total + 5,
+	}, nil)
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("out-of-bound range: status %d, want 416", resp.StatusCode)
+	}
+
+	// Oversized window → 400.
+	resp = post(t, srv, "/range", rangeRequest{
+		specPayload: specPayload{Query: twoPath, Order: "x, y, z"},
+		K0:          0, K1: maxRange + 1,
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized range: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,111 @@
+package tupleidx
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rankedaccess/internal/values"
+)
+
+// refMap is the old string-key idiom the Index replaces: fixed-width
+// big-endian encoding of every column, interned in a Go map. The fuzz
+// target checks that Index agrees with it on insert ids, membership,
+// and dedup counts for arbitrary data, including negative values and
+// mixed arities.
+type refMap struct {
+	ids map[string]int
+	buf []byte
+}
+
+func newRefMap() *refMap { return &refMap{ids: make(map[string]int)} }
+
+func (m *refMap) key(t []values.Value) string {
+	m.buf = m.buf[:0]
+	for _, v := range t {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		m.buf = append(m.buf, b[:]...)
+	}
+	return string(m.buf)
+}
+
+func (m *refMap) insert(t []values.Value) (int, bool) {
+	k := m.key(t)
+	if id, ok := m.ids[k]; ok {
+		return id, false
+	}
+	id := len(m.ids)
+	m.ids[k] = id
+	return id, true
+}
+
+func (m *refMap) lookup(t []values.Value) (int, bool) {
+	id, ok := m.ids[m.key(t)]
+	return id, ok
+}
+
+func FuzzIndexVsStringMap(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(uint8(2), []byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(3), make([]byte, 8*9))
+	f.Add(uint8(4), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, arity8 uint8, data []byte) {
+		arity := int(arity8%4) + 1 // mixed arities 1..4
+		width := 8 * arity
+		n := len(data) / width
+		if n == 0 {
+			return
+		}
+		tuples := make([][]values.Value, n)
+		for i := 0; i < n; i++ {
+			tu := make([]values.Value, arity)
+			for j := 0; j < arity; j++ {
+				tu[j] = values.Value(binary.BigEndian.Uint64(data[i*width+j*8:])) // signed reinterpret: negatives included
+			}
+			tuples[i] = tu
+		}
+
+		x := New(arity, 0)
+		ref := newRefMap()
+		for _, tu := range tuples {
+			gotID, gotAdded := x.Insert(tu)
+			wantID, wantAdded := ref.insert(tu)
+			if gotID != wantID || gotAdded != wantAdded {
+				t.Fatalf("Insert(%v): index (%d, %v), string map (%d, %v)",
+					tu, gotID, gotAdded, wantID, wantAdded)
+			}
+		}
+		// Dedup semantics: same number of distinct keys.
+		if x.Len() != len(ref.ids) {
+			t.Fatalf("dedup count: index %d, string map %d", x.Len(), len(ref.ids))
+		}
+		// Lookup of every inserted tuple and of mutated (likely absent)
+		// probes must agree.
+		for _, tu := range tuples {
+			gotID, gotOK := x.Lookup(tu)
+			wantID, wantOK := ref.lookup(tu)
+			if gotID != wantID || gotOK != wantOK {
+				t.Fatalf("Lookup(%v): index (%d, %v), string map (%d, %v)",
+					tu, gotID, gotOK, wantID, wantOK)
+			}
+			probe := append([]values.Value(nil), tu...)
+			probe[0] = ^probe[0]
+			gotID, gotOK = x.Lookup(probe)
+			wantID, wantOK = ref.lookup(probe)
+			if gotOK != wantOK || (gotOK && gotID != wantID) {
+				t.Fatalf("Lookup(flipped %v): index (%d, %v), string map (%d, %v)",
+					probe, gotID, gotOK, wantID, wantOK)
+			}
+		}
+		// Stored keys must round-trip exactly.
+		for _, tu := range tuples {
+			id, _ := x.Lookup(tu)
+			k := x.Key(id)
+			for j := range tu {
+				if k[j] != tu[j] {
+					t.Fatalf("Key(%d) = %v, want %v", id, k, tu)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package tupleidx
+
+import (
+	"sort"
+
+	"rankedaccess/internal/values"
+)
+
+// flatSorter sorts fixed-stride rows of a flat array in place: Less
+// compares row views, Swap exchanges the rows column by column. No
+// per-row allocation happens during sorting (only the one interface
+// header for sort.Sort, which runs the stdlib pattern-defeating
+// quicksort).
+type flatSorter struct {
+	data  []values.Value
+	arity int
+	less  func(a, b []values.Value) bool
+}
+
+func (s *flatSorter) Len() int { return len(s.data) / s.arity }
+
+func (s *flatSorter) Less(i, j int) bool {
+	return s.less(s.data[i*s.arity:(i+1)*s.arity], s.data[j*s.arity:(j+1)*s.arity])
+}
+
+func (s *flatSorter) Swap(i, j int) {
+	a := s.data[i*s.arity : (i+1)*s.arity]
+	b := s.data[j*s.arity : (j+1)*s.arity]
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// SortFlat sorts the rows of a flat fixed-stride array in place under a
+// comparator over row views. The sort is not stable; callers that need
+// stability must make the comparator total.
+func SortFlat(data []values.Value, arity int, less func(a, b []values.Value) bool) {
+	if arity <= 0 || len(data) <= arity {
+		return
+	}
+	sort.Sort(&flatSorter{data: data, arity: arity, less: less})
+}
+
+// SortLexFlat sorts the rows of a flat fixed-stride array in place by
+// columnwise ascending value order.
+func SortLexFlat(data []values.Value, arity int) {
+	if arity == 1 {
+		SortValues(data)
+		return
+	}
+	SortFlat(data, arity, func(a, b []values.Value) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	})
+}
+
+// radixThreshold is the input size below which comparison sorting beats
+// the 8-pass LSD radix with its scratch allocation.
+const radixThreshold = 512
+
+// SortValues sorts a value slice ascending: LSD radix sort (8-bit
+// digits, sign-corrected) for large inputs, stdlib pdqsort otherwise.
+func SortValues(vals []values.Value) {
+	if len(vals) < radixThreshold {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return
+	}
+	radixSortValues(vals, make([]values.Value, len(vals)))
+}
+
+// radixSortValues sorts vals ascending using scratch (same length) as
+// the ping-pong buffer. int64 order is obtained by flipping the sign bit
+// of the top digit's counting key.
+func radixSortValues(vals, scratch []values.Value) {
+	src, dst := vals, scratch
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		signFlip := uint64(0)
+		if shift == 56 {
+			signFlip = 0x80 // order the top digit as signed
+		}
+		for _, v := range src {
+			counts[(uint64(v)>>shift)&0xff^signFlip]++
+		}
+		// Skip passes where every key shares the digit.
+		if counts[(uint64(src[0])>>shift)&0xff^signFlip] == len(src) {
+			continue
+		}
+		sum := 0
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := (uint64(v)>>shift)&0xff ^ signFlip
+			dst[counts[d]] = v
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &vals[0] {
+		copy(vals, src)
+	}
+}

@@ -85,6 +85,11 @@ type (
 	Verdict = classify.Verdict
 	// DirectAccess is the lexicographic direct-access structure.
 	DirectAccess = access.Lex
+	// DirectAccessBuf is a reusable probe buffer for DirectAccess: pair
+	// one with each goroutine (DirectAccess.NewBuf) and probe through
+	// AccessInto / AppendTuple / AppendRange for zero-allocation
+	// steady-state access.
+	DirectAccessBuf = access.LexBuf
 	// SumDirectAccess is the SUM direct-access structure.
 	SumDirectAccess = access.Sum
 	// SumEnumerator enumerates answers by non-decreasing weight.
@@ -315,9 +320,15 @@ func NewEngine(in *Instance, opts EngineOptions) *Engine { return engine.New(in,
 
 // AnswerTuple projects an answer onto the query head, in head order.
 func AnswerTuple(q *Query, a Answer) []Value {
-	out := make([]Value, len(q.Head))
-	for i, v := range q.Head {
-		out[i] = a[v]
+	return AppendAnswerTuple(q, make([]Value, 0, len(q.Head)), a)
+}
+
+// AppendAnswerTuple appends the head projection of a to dst and returns
+// the extended slice; it allocates only when dst lacks capacity. This is
+// the buffer-reuse variant of AnswerTuple for high-throughput loops.
+func AppendAnswerTuple(q *Query, dst []Value, a Answer) []Value {
+	for _, v := range q.Head {
+		dst = append(dst, a[v])
 	}
-	return out
+	return dst
 }
