@@ -1,0 +1,205 @@
+// Command benchgate is CI's benchmark regression gate: it parses Go
+// benchmark output (the same format benchstat consumes), compares a PR
+// run against a baseline run, and fails when a benchmark got more than
+// -threshold slower or allocates more per op at all. It also emits a
+// machine-readable JSON summary of the new run for artifact archival.
+//
+//	go test -bench ... -count 6 -benchmem | tee new.txt
+//	git worktree / checkout base && go test -bench ... | tee old.txt
+//	benchgate -old old.txt -new new.txt -json BENCH_$SHA.json -sha $SHA
+//
+// Medians across -count repetitions are compared, which keeps single
+// noisy iterations from tripping the gate; benchmarks whose baseline
+// median is under -min-ns are skipped for the time check (micro-noise)
+// but still gated on allocations. Benchmarks present on only one side
+// are reported and ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type sample struct {
+	nsPerOp     float64
+	bPerOp      float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasAllocs   bool    `json:"has_allocs"`
+	Samples     int     `json:"samples"`
+}
+
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := sample{}
+		s.nsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			s.bPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			s.allocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			s.hasAllocs = true
+		}
+		out[m[1]] = append(out[m[1]], s)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func summarize(samples map[string][]sample) map[string]result {
+	out := make(map[string]result, len(samples))
+	for name, ss := range samples {
+		var ns, bs, allocs []float64
+		hasAllocs := false
+		for _, s := range ss {
+			ns = append(ns, s.nsPerOp)
+			bs = append(bs, s.bPerOp)
+			allocs = append(allocs, s.allocsPerOp)
+			hasAllocs = hasAllocs || s.hasAllocs
+		}
+		out[name] = result{
+			Name:    name,
+			NsPerOp: median(ns), BPerOp: median(bs), AllocsPerOp: median(allocs),
+			HasAllocs: hasAllocs,
+			Samples:   len(ss),
+		}
+	}
+	return out
+}
+
+func sortedNames(m map[string]result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline benchmark output (empty: emit JSON only, no gate)")
+		newPath   = flag.String("new", "", "PR benchmark output (required)")
+		jsonPath  = flag.String("json", "", "write a JSON summary of the new run here")
+		sha       = flag.String("sha", "", "commit SHA recorded in the JSON summary")
+		threshold = flag.Float64("threshold", 1.20, "fail when new median time exceeds old by this factor")
+		minNs     = flag.Float64("min-ns", 100, "skip the time check for baselines faster than this (ns)")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	newSamples, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newResults := summarize(newSamples)
+
+	if *jsonPath != "" {
+		doc := struct {
+			SHA        string   `json:"sha,omitempty"`
+			GOOS       string   `json:"goos"`
+			GOARCH     string   `json:"goarch"`
+			Benchmarks []result `json:"benchmarks"`
+		}{SHA: *sha, GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+		for _, name := range sortedNames(newResults) {
+			doc.Benchmarks = append(doc.Benchmarks, newResults[name])
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
+
+	if *oldPath == "" {
+		fmt.Printf("benchgate: recorded %d benchmarks (no baseline, gate skipped)\n", len(newResults))
+		return
+	}
+	oldSamples, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	oldResults := summarize(oldSamples)
+
+	failed := false
+	for _, name := range sortedNames(newResults) {
+		nr := newResults[name]
+		or, ok := oldResults[name]
+		if !ok {
+			fmt.Printf("NEW   %-60s %12.0f ns/op (no baseline)\n", name, nr.NsPerOp)
+			continue
+		}
+		status := "ok"
+		if or.NsPerOp >= *minNs && nr.NsPerOp > or.NsPerOp**threshold {
+			status = "TIME REGRESSION"
+			failed = true
+		}
+		if or.HasAllocs && nr.HasAllocs && nr.AllocsPerOp > or.AllocsPerOp {
+			if status == "ok" {
+				status = "ALLOC REGRESSION"
+			} else {
+				status += " + ALLOC REGRESSION"
+			}
+			failed = true
+		}
+		fmt.Printf("%-18s %-60s %12.0f -> %12.0f ns/op  %6.0f -> %6.0f allocs/op\n",
+			status, name, or.NsPerOp, nr.NsPerOp, or.AllocsPerOp, nr.AllocsPerOp)
+	}
+	for _, name := range sortedNames(oldResults) {
+		if _, ok := newResults[name]; !ok {
+			fmt.Printf("GONE  %s\n", name)
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: FAIL (time threshold %.0f%%, any alloc/op increase)\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d benchmarks compared)\n", len(newResults))
+}

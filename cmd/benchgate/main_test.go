@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: rankedaccess
+BenchmarkAccess_Layered/n=65536-8         	     100	      1000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAccess_Layered/n=65536-8         	     100	      1100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAccess_Layered/n=65536-8         	     100	       900 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBuild-8                          	       1	   5000000 ns/op
+ok  	rankedaccess	1.0s
+`
+
+const sampleNew = `BenchmarkAccess_Layered/n=65536-8         	     100	      1150 ns/op	       0 B/op	       1 allocs/op
+BenchmarkBuild-8                          	       1	   5500000 ns/op
+BenchmarkFresh-8                          	      10	       100 ns/op
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseAndSummarize(t *testing.T) {
+	samples, err := parseFile(write(t, "old.txt", sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := summarize(samples)
+	acc, ok := res["BenchmarkAccess_Layered/n=65536"]
+	if !ok {
+		t.Fatalf("missing benchmark (GOMAXPROCS suffix not stripped?): %v", sortedNames(res))
+	}
+	if acc.Samples != 3 || acc.NsPerOp != 1000 {
+		t.Fatalf("median over samples = %+v, want 3 samples, 1000 ns/op", acc)
+	}
+	if !acc.HasAllocs {
+		t.Fatal("allocs column not parsed")
+	}
+	build := res["BenchmarkBuild"]
+	if build.NsPerOp != 5000000 || build.HasAllocs {
+		t.Fatalf("build = %+v", build)
+	}
+}
+
+func TestRegressionDetection(t *testing.T) {
+	oldRes := summarize(mustParse(t, write(t, "old.txt", sampleOld)))
+	newRes := summarize(mustParse(t, write(t, "new.txt", sampleNew)))
+
+	// Time: 1000 -> 1150 is within 20%; 5000000 -> 5500000 is within
+	// 20% too. Allocs: 0 -> 1 must be flagged.
+	acc := newRes["BenchmarkAccess_Layered/n=65536"]
+	old := oldRes["BenchmarkAccess_Layered/n=65536"]
+	if acc.NsPerOp > old.NsPerOp*1.20 {
+		t.Fatal("test premise broken: time should be within threshold")
+	}
+	if !(acc.AllocsPerOp > old.AllocsPerOp) {
+		t.Fatal("alloc regression not visible in medians")
+	}
+	if _, ok := oldRes["BenchmarkFresh"]; ok {
+		t.Fatal("BenchmarkFresh should only exist in the new run")
+	}
+}
+
+func mustParse(t *testing.T, path string) map[string][]sample {
+	t.Helper()
+	s, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

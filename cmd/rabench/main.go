@@ -12,6 +12,13 @@
 //
 //	rabench -exp thm33 -cpuprofile cpu.out -memprofile mem.out
 //	go tool pprof cpu.out
+//
+// Sharded serving benchmarks (per-shard build plus merged access and
+// range timings, in Go benchmark format so CI's benchstat gate and
+// cmd/benchgate can diff runs):
+//
+//	rabench -shards 1,2,4,8 > new.txt
+//	go run ./cmd/benchgate -old old.txt -new new.txt
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
+		shards     = flag.String("shards", "", "benchmark sharded execution at these shard counts (e.g. 1,2,4,8) instead of the experiments")
 	)
 	flag.Parse()
 
@@ -60,6 +68,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "rabench: writing heap profile: %v\n", err)
 			}
 		}()
+	}
+
+	if *shards != "" {
+		if err := runShardBench(os.Stdout, *shards, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	sweep := func(base int) []int {

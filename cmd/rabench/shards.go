@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/values"
+	"rankedaccess/internal/workload"
+)
+
+// runShardBench benchmarks sharded ranked access at the given shard
+// counts on one generated two-path instance, printing per-shard build
+// and merged access/range timings in Go benchmark format — the same
+// format CI's benchstat-based regression gate consumes, so a run can be
+// diffed against a stored baseline with benchstat or cmd/benchgate:
+//
+//	rabench -shards 1,2,4,8 > new.txt
+//	go run ./cmd/benchgate -old old.txt -new new.txt
+func runShardBench(w io.Writer, spec string, scale int, seed int64) error {
+	counts, err := parseShardCounts(spec)
+	if err != nil {
+		return err
+	}
+	n := 8192 << scale
+	rng := rand.New(rand.NewSource(seed))
+	q, in := workload.TwoPath(rng, n, n/4, 0.4)
+	qtext := q.String()
+	eng := engine.New(in, engine.Options{})
+
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: rankedaccess/cmd/rabench\n")
+
+	const probes = 5000
+	for _, p := range counts {
+		s := engine.Spec{Query: qtext, Order: "", Shards: p}
+		start := time.Now()
+		h, err := eng.Prepare(s)
+		if err != nil {
+			return fmt.Errorf("rabench: shards=%d: %w", p, err)
+		}
+		build := time.Since(start)
+		switch {
+		case p >= 2 && h.Plan.Shards == 0:
+			fmt.Fprintf(w, "# shards=%d fell back to a single structure: %s\n", p, h.Plan.ShardNote)
+		case p >= 2 && h.Plan.Shards != p:
+			fmt.Fprintf(w, "# shards=%d clamped: measured on %d shards\n", p, h.Plan.Shards)
+		}
+		fmt.Fprintf(w, "BenchmarkShardPrepare/n=%d/shards=%d \t%8d\t%12d ns/op\n", n, p, 1, build.Nanoseconds())
+		for i, ns := range h.ShardBuildNanos() {
+			fmt.Fprintf(w, "BenchmarkShardPartBuild/n=%d/shards=%d/part=%d \t%8d\t%12d ns/op\n", n, p, i, 1, ns)
+		}
+
+		total := h.Total()
+		if total == 0 {
+			return fmt.Errorf("rabench: empty join at n=%d", n)
+		}
+		ks := make([]int64, probes)
+		for i := range ks {
+			ks[i] = rng.Int63n(total)
+		}
+		var dst []values.Value
+		start = time.Now()
+		for _, k := range ks {
+			dst, err = h.AppendTuple(dst[:0], k)
+			if err != nil {
+				return err
+			}
+		}
+		access := time.Since(start)
+		fmt.Fprintf(w, "BenchmarkShardAccess/n=%d/shards=%d \t%8d\t%12d ns/op\n",
+			n, p, probes, access.Nanoseconds()/probes)
+
+		window := total
+		if window > 1<<14 {
+			window = 1 << 14
+		}
+		start = time.Now()
+		dst, err = h.AccessRange(dst[:0], total-window, total)
+		if err != nil {
+			return err
+		}
+		_ = dst
+		rng64 := time.Since(start)
+		fmt.Fprintf(w, "BenchmarkShardRange/n=%d/shards=%d \t%8d\t%12d ns/op\n",
+			n, p, window, rng64.Nanoseconds()/window)
+	}
+	return nil
+}
+
+func parseShardCounts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p, err := strconv.Atoi(f)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("rabench: bad shard count %q", f)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rabench: -shards needs a comma-separated list, e.g. 1,2,4,8")
+	}
+	return out, nil
+}

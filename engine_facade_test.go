@@ -45,3 +45,44 @@ func TestFacadeEngine(t *testing.T) {
 		t.Fatalf("total after mutation = %d, want 3", h3.Total())
 	}
 }
+
+// TestFacadeEngineSharded: sharded specs flow through the facade and
+// return the same answers as unsharded execution.
+func TestFacadeEngineSharded(t *testing.T) {
+	in := NewInstance()
+	for i := int64(0); i < 64; i++ {
+		in.AddRow("R", i%13, i%7)
+		in.AddRow("S", i%7, i%11)
+	}
+	e := NewEngine(in, EngineOptions{})
+	base := EngineSpec{Query: "Q(x, y, z) :- R(x, y), S(y, z)", Order: "y desc, x, z"}
+	single, err := e.Prepare(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 4
+	h, err := e.Prepare(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Plan.Shards != 4 {
+		t.Fatalf("plan = %+v, want 4 shards", h.Plan)
+	}
+	if h.Total() != single.Total() {
+		t.Fatalf("totals differ: %d vs %d", h.Total(), single.Total())
+	}
+	var want, got []Value
+	for k := int64(0); k < h.Total(); k++ {
+		want, _ = single.AppendTuple(want[:0], k)
+		got, err = h.AppendTuple(got[:0], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("k=%d: %v vs %v", k, got, want)
+			}
+		}
+	}
+}

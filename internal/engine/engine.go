@@ -39,6 +39,7 @@ import (
 	"rankedaccess/internal/fd"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/selection"
+	"rankedaccess/internal/shard"
 	"rankedaccess/internal/values"
 )
 
@@ -72,6 +73,29 @@ type Spec struct {
 	// FDs are unary functional dependencies "R: x -> y" to refine the
 	// classification (§8).
 	FDs []string
+	// Shards, when ≥ 2, requests hash-partitioned execution: the
+	// instance is split on a partition variable, per-shard structures
+	// are built in parallel, and accesses merge per-shard answer counts
+	// (internal/shard). Queries that cannot be partitioned fall back to
+	// a single structure; Plan.ShardNote records why. Values above
+	// shard.MaxShards are clamped.
+	Shards int
+	// ShardBy optionally names the partition variable, which must be a
+	// free variable of the query; empty picks the free variable
+	// appearing in the most atoms. Ignored unless Shards ≥ 2.
+	ShardBy string
+}
+
+// normShards canonicalizes a requested shard count: anything below 2 is
+// unsharded, anything above the shard package's bound is clamped.
+func normShards(p int) int {
+	if p < 2 {
+		return 1
+	}
+	if p > shard.MaxShards {
+		return shard.MaxShards
+	}
+	return p
 }
 
 // Mode names the structure a plan selected.
@@ -96,6 +120,14 @@ type Plan struct {
 	Tractable bool
 	// Verdict is the classification with its certificate.
 	Verdict classify.Verdict
+	// Shards is the shard count actually used (0 when unsharded).
+	Shards int
+	// ShardBy is the partition variable actually used (empty when
+	// unsharded).
+	ShardBy string
+	// ShardNote records why a sharding request fell back to a single
+	// structure (empty when sharding succeeded or was not requested).
+	ShardNote string
 }
 
 // Handle is a prepared, immutable, concurrency-safe access structure.
@@ -111,11 +143,22 @@ type Handle struct {
 	mat      *access.Materialized
 	matIsLex bool      // the materialization is lex-sorted (not SUM-sorted)
 	matLex   order.Lex // realized order of a materialized-lex handle
+
+	// Sharded serving: sh merges per-shard structures; shProject maps a
+	// merged (possibly FD-extended) answer to the original query's
+	// shape, shExtend maps a caller answer into the merged shape for
+	// inverted access, and shNoInvert marks SUM groups (no inverse).
+	sh         *shard.Handle
+	shProject  func(order.Answer) order.Answer
+	shExtend   func(order.Answer) (order.Answer, bool)
+	shNoInvert bool
 }
 
 // Total returns |Q(I)| as of the handle's build.
 func (h *Handle) Total() int64 {
 	switch {
+	case h.sh != nil:
+		return h.sh.Total()
 	case h.lex != nil:
 		return h.lex.Total()
 	case h.sum != nil:
@@ -128,6 +171,15 @@ func (h *Handle) Total() int64 {
 // Access returns the k-th answer in the handle's order.
 func (h *Handle) Access(k int64) (order.Answer, error) {
 	switch {
+	case h.sh != nil:
+		a, err := h.sh.Access(k)
+		if err != nil {
+			return nil, err
+		}
+		if h.shProject != nil {
+			a = h.shProject(a)
+		}
+		return a, nil
 	case h.lex != nil:
 		return h.lex.Access(k)
 	case h.sum != nil:
@@ -142,6 +194,18 @@ func (h *Handle) Access(k int64) (order.Answer, error) {
 // structures do not).
 func (h *Handle) Inverted(a order.Answer) (int64, error) {
 	switch {
+	case h.sh != nil:
+		if h.shNoInvert {
+			return 0, ErrNoInverted
+		}
+		if h.shExtend != nil {
+			ext, ok := h.shExtend(a)
+			if !ok {
+				return 0, access.ErrNotAnAnswer
+			}
+			a = ext
+		}
+		return h.sh.Inverted(a)
 	case h.lex != nil:
 		return h.lex.Inverted(a)
 	case h.matIsLex:
@@ -168,12 +232,32 @@ func (h *Handle) AppendHeadTuple(dst []values.Value, a order.Answer) []values.Va
 // Width returns the number of head columns of each answer tuple.
 func (h *Handle) Width() int { return len(h.Query.Head) }
 
+// ShardBuildNanos returns the per-shard build wall times of a sharded
+// handle (nil when unsharded), for benchmarking and diagnostics.
+func (h *Handle) ShardBuildNanos() []int64 {
+	if h.sh == nil {
+		return nil
+	}
+	return append([]int64(nil), h.sh.BuildNanos...)
+}
+
+// ShardTotals returns the per-shard answer counts of a sharded handle
+// (nil when unsharded).
+func (h *Handle) ShardTotals() []int64 {
+	if h.sh == nil {
+		return nil
+	}
+	return h.sh.PartTotals()
+}
+
 // AppendTuple appends the head tuple of the k-th answer to dst and
 // returns the extended slice. On the layered structure this is the
 // zero-allocation access path (probe scratch comes from a pool, output
 // goes into dst); the other structures only pay dst growth.
 func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error) {
 	switch {
+	case h.sh != nil:
+		return h.sh.AppendTuple(dst, h.Query.Head, k)
 	case h.lex != nil:
 		return h.lex.AppendTuple(dst, k)
 	case h.sum != nil:
@@ -199,6 +283,9 @@ func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error
 func (h *Handle) AccessRange(dst []values.Value, k0, k1 int64) ([]values.Value, error) {
 	if k0 < 0 || k1 < k0 {
 		return dst, fmt.Errorf("engine: bad access range [%d, %d)", k0, k1)
+	}
+	if h.sh != nil {
+		return h.sh.AppendRange(dst, h.Query.Head, k0, k1)
 	}
 	if h.lex != nil {
 		return h.lex.AppendRange(dst, k0, k1)
@@ -339,6 +426,9 @@ func (e *Engine) Stats() Stats {
 // key canonicalizes a Spec into a cache key for one instance version.
 // FD and SumBy lists are order-insensitive, and Order is dropped when
 // SumBy is set (parse ignores it, so the built structure is identical).
+// The shard count and partition variable are part of the accessor
+// identity: the same query sharded differently is a different
+// structure. ShardBy is dropped when the request is unsharded.
 func (s Spec) key(version uint64) string {
 	fds := append([]string(nil), s.FDs...)
 	sort.Strings(fds)
@@ -348,8 +438,14 @@ func (s Spec) key(version uint64) string {
 	if len(sumBy) > 0 {
 		lexOrder = ""
 	}
-	return fmt.Sprintf("%d\x00%s\x00%s\x00%s\x00%s",
-		version, s.Query, lexOrder, strings.Join(sumBy, ","), strings.Join(fds, ";"))
+	shards := normShards(s.Shards)
+	shardBy := s.ShardBy
+	if shards == 1 {
+		shardBy = ""
+	}
+	return fmt.Sprintf("%d\x00%s\x00%s\x00%s\x00%s\x00%d\x00%s",
+		version, s.Query, lexOrder, strings.Join(sumBy, ","), strings.Join(fds, ";"),
+		shards, shardBy)
 }
 
 // parsed is a Spec after parsing against its own query.
@@ -442,14 +538,27 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := normShards(s.Shards)
+	if shards > 1 && s.ShardBy != "" {
+		// Reject a bad explicit partition variable instead of silently
+		// falling back: the caller asked for something specific, and
+		// some fallback paths never reach shard.Choose.
+		if err := shard.ValidateBy(p.q, s.ShardBy); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
 	h := &Handle{Query: p.q}
+	var wfd classify.WithFDs // FD witness, reused by the sharded builders
 	if p.sum {
 		if len(p.fds) == 0 {
 			h.Plan.Verdict = classify.DirectAccessSum(p.q)
 		} else {
-			h.Plan.Verdict, _ = classify.DirectAccessSumFD(p.q, p.fds)
+			h.Plan.Verdict, wfd = classify.DirectAccessSumFD(p.q, p.fds)
 		}
 		if h.Plan.Verdict.Tractable {
+			if shards > 1 && e.shardSum(h, p, wfd, s.ShardBy, shards) {
+				return h, nil
+			}
 			var sa *access.Sum
 			if len(p.fds) == 0 {
 				sa, err = access.BuildSum(p.q, e.in, p.w)
@@ -466,6 +575,9 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 			}
 		}
 		h.Plan.Mode = ModeMaterialized
+		if shards > 1 && e.shardMaterialized(h, p, s.ShardBy, shards) {
+			return h, nil
+		}
 		h.mat = access.BuildMaterializedSum(p.q, e.in, p.w)
 		return h, nil
 	}
@@ -473,9 +585,12 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 	if len(p.fds) == 0 {
 		h.Plan.Verdict = classify.DirectAccessLex(p.q, p.l)
 	} else {
-		h.Plan.Verdict, _ = classify.DirectAccessLexFD(p.q, p.l, p.fds)
+		h.Plan.Verdict, wfd = classify.DirectAccessLexFD(p.q, p.l, p.fds)
 	}
 	if h.Plan.Verdict.Tractable {
+		if shards > 1 && e.shardLex(h, p, wfd, s.ShardBy, shards) {
+			return h, nil
+		}
 		var la *access.Lex
 		if len(p.fds) == 0 {
 			la, err = access.BuildLex(p.q, e.in, p.l)
@@ -492,10 +607,126 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 		}
 	}
 	h.Plan.Mode = ModeMaterialized
+	if shards > 1 && e.shardMaterialized(h, p, s.ShardBy, shards) {
+		return h, nil
+	}
 	h.mat = access.BuildMaterializedLex(p.q, e.in, p.l)
 	h.matIsLex = true
 	h.matLex = p.l
 	return h, nil
+}
+
+// shardFallback records why a sharded build fell back and clears any
+// partial sharded state from the handle.
+func (h *Handle) shardFallback(note string) bool {
+	h.Plan.ShardNote = note
+	h.sh, h.shProject, h.shExtend, h.shNoInvert = nil, nil, nil, false
+	return false
+}
+
+// shardLex attempts a sharded layered build for a tractable lex spec;
+// w is the FD witness build() already computed (zero without FDs). FD
+// specs are extended globally first — the extension shares variable
+// ids with the original query and the reordered order L⁺ sorts Q⁺(I⁺)
+// exactly as L sorts Q(I) (Lemma 8.16) — and the plain extension is
+// then partitioned, so every shard prices foreign candidates against
+// complete FD-implied values. Returns true when h now serves sharded;
+// false records a fallback note and leaves h untouched.
+func (e *Engine) shardLex(h *Handle, p *parsed, w classify.WithFDs, by string, shards int) bool {
+	q, in, l := p.q, e.in, p.l
+	if len(p.fds) > 0 {
+		if w.Ext == nil {
+			return h.shardFallback("no FD extension available")
+		}
+		if err := p.fds.Check(p.q, e.in); err != nil {
+			return h.shardFallback(err.Error())
+		}
+		iplus, err := w.Ext.ExtendInstance(p.q, e.in)
+		if err != nil {
+			return h.shardFallback(err.Error())
+		}
+		extender, err := w.Ext.AnswerExtender(p.q, e.in)
+		if err != nil {
+			return h.shardFallback(err.Error())
+		}
+		orig := p.q
+		h.shProject = func(a order.Answer) order.Answer { return fd.ProjectAnswer(orig, a) }
+		h.shExtend = extender
+		q, in, l = w.Ext.Query, iplus, w.LPlus
+	}
+	pt, err := shard.Choose(q, by, shards)
+	if err != nil {
+		return h.shardFallback(err.Error())
+	}
+	sh, err := shard.BuildLex(q, in, l, pt)
+	if err != nil {
+		return h.shardFallback(err.Error())
+	}
+	h.sh = sh
+	h.Plan.Mode, h.Plan.Tractable = ModeLayeredLex, true
+	h.Plan.Shards, h.Plan.ShardBy = pt.P, pt.VarName
+	return true
+}
+
+// shardSum is shardLex for tractable SUM specs. SUM groups have no
+// inverse (as in the single-structure case). Promoted FD variables
+// weigh zero (Lemma 8.5), so sharding the extension preserves weights.
+func (e *Engine) shardSum(h *Handle, p *parsed, w classify.WithFDs, by string, shards int) bool {
+	q, in := p.q, e.in
+	if len(p.fds) > 0 {
+		if w.Ext == nil {
+			return h.shardFallback("no FD extension available")
+		}
+		if err := p.fds.Check(p.q, e.in); err != nil {
+			return h.shardFallback(err.Error())
+		}
+		iplus, err := w.Ext.ExtendInstance(p.q, e.in)
+		if err != nil {
+			return h.shardFallback(err.Error())
+		}
+		orig := p.q
+		h.shProject = func(a order.Answer) order.Answer { return fd.ProjectAnswer(orig, a) }
+		q, in = w.Ext.Query, iplus
+	}
+	pt, err := shard.Choose(q, by, shards)
+	if err != nil {
+		return h.shardFallback(err.Error())
+	}
+	sh, err := shard.BuildSum(q, in, p.w, pt)
+	if err != nil {
+		return h.shardFallback(err.Error())
+	}
+	h.sh = sh
+	h.shNoInvert = true
+	h.Plan.Mode, h.Plan.Tractable = ModeSum, true
+	h.Plan.Shards, h.Plan.ShardBy = pt.P, pt.VarName
+	return true
+}
+
+// shardMaterialized attempts a sharded materialize-and-sort fallback:
+// each shard materializes only its slice of the answer space, so even
+// the intractable side parallelizes P ways. FDs do not change the
+// answer set or the realized order here (the single-shard fallback
+// ignores them too), so the original query is partitioned directly.
+func (e *Engine) shardMaterialized(h *Handle, p *parsed, by string, shards int) bool {
+	pt, err := shard.Choose(p.q, by, shards)
+	if err != nil {
+		return h.shardFallback(err.Error())
+	}
+	var sh *shard.Handle
+	if p.sum {
+		sh, err = shard.BuildMaterializedSum(p.q, e.in, p.w, pt)
+		h.shNoInvert = true
+	} else {
+		sh, err = shard.BuildMaterializedLex(p.q, e.in, p.l, pt)
+	}
+	if err != nil {
+		return h.shardFallback(err.Error())
+	}
+	h.sh = sh
+	h.Plan.Mode = ModeMaterialized
+	h.Plan.Shards, h.Plan.ShardBy = pt.P, pt.VarName
+	return true
 }
 
 // Access is Prepare plus a batch of probes in one call: it returns the
@@ -571,13 +802,55 @@ func (e *Engine) Select(s Spec, k int64) ([]values.Value, error) {
 
 // Count returns |Q(I)| in linear time for free-connex queries.
 func (e *Engine) Count(query string) (int64, error) {
+	n, _, err := e.CountSharded(query, 0, "")
+	return n, err
+}
+
+// CountInfo reports how a CountSharded request was executed: the shard
+// count and partition variable actually used (zero/empty when the
+// count ran unsharded), and the fallback reason if sharding was
+// requested but impossible.
+type CountInfo struct {
+	Shards    int
+	ShardBy   string
+	ShardNote string
+}
+
+// CountSharded is Count with scatter-gather: for shards ≥ 2 the
+// instance is partitioned, every shard is counted in parallel, and the
+// counts sum (shard answer sets partition Q(I)). Queries that cannot
+// be partitioned fall back to the single-instance count, recorded in
+// the returned CountInfo; an explicit partition variable that is not a
+// free variable of the query is an error.
+func (e *Engine) CountSharded(query string, shards int, by string) (int64, CountInfo, error) {
+	var info CountInfo
 	q, err := cq.Parse(query)
 	if err != nil {
-		return 0, err
+		return 0, info, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return selection.CountAnswers(q, e.in)
+	if p := normShards(shards); p > 1 {
+		pt, err := shard.Choose(q, by, p)
+		var ue *shard.UnshardableError
+		switch {
+		case err == nil:
+			if n, err := shard.Count(q, e.in, pt); err == nil {
+				info.Shards, info.ShardBy = pt.P, pt.VarName
+				return n, info, nil
+			}
+			// Per-shard counting failures are query-level (not
+			// free-connex); the single-instance path reproduces the
+			// error exactly.
+			info.ShardNote = "per-shard count failed; recounted unsharded"
+		case errors.As(err, &ue):
+			info.ShardNote = err.Error()
+		default:
+			return 0, info, err
+		}
+	}
+	n, err := selection.CountAnswers(q, e.in)
+	return n, info, err
 }
 
 // Problem names for Classify.

@@ -18,6 +18,18 @@
 // engine's AccessRange, which reuses one probe buffer for the whole
 // window. Response encoding goes through pooled buffers, so the handlers
 // allocate per response burst, not per answer.
+//
+// Sharded serving: /access, /range, and /count accept "shards" (and
+// optionally "shard_by"); the engine partitions the instance, builds
+// per-shard structures in parallel, and the handlers' probes fan out
+// across shards and merge by global rank — each shard keeping its
+// zero-alloc buffered probe path. Responses echo the effective shard
+// count and partition variable, or a note explaining a fallback.
+//
+// Error handling: every response funnels through one writer that
+// encodes the full body before emitting the status line, so error
+// statuses are always set before any byte of the body and every error
+// body is a structured {"error": ...} object.
 package serve
 
 import (
@@ -73,15 +85,35 @@ func NewHandler(e *engine.Engine) http.Handler {
 }
 
 // specPayload is the request fragment shared by the query endpoints.
+// Shards ≥ 2 requests scatter-gather execution: the engine partitions
+// the instance, builds per-shard structures in parallel, and the
+// handlers' accesses fan out across shards and merge by global rank.
 type specPayload struct {
-	Query string   `json:"query"`
-	Order string   `json:"order,omitempty"`
-	SumBy []string `json:"sum_by,omitempty"`
-	FDs   []string `json:"fds,omitempty"`
+	Query   string   `json:"query"`
+	Order   string   `json:"order,omitempty"`
+	SumBy   []string `json:"sum_by,omitempty"`
+	FDs     []string `json:"fds,omitempty"`
+	Shards  int      `json:"shards,omitempty"`
+	ShardBy string   `json:"shard_by,omitempty"`
 }
 
 func (p specPayload) spec() engine.Spec {
-	return engine.Spec{Query: p.Query, Order: p.Order, SumBy: p.SumBy, FDs: p.FDs}
+	return engine.Spec{
+		Query: p.Query, Order: p.Order, SumBy: p.SumBy, FDs: p.FDs,
+		Shards: p.Shards, ShardBy: p.ShardBy,
+	}
+}
+
+// shardEcho is the response fragment reporting how a request was
+// sharded (omitted entirely when execution was single-structure).
+type shardEcho struct {
+	Shards    int    `json:"shards,omitempty"`
+	ShardBy   string `json:"shard_by,omitempty"`
+	ShardNote string `json:"shard_note,omitempty"`
+}
+
+func shardInfo(p engine.Plan) shardEcho {
+	return shardEcho{Shards: p.Shards, ShardBy: p.ShardBy, ShardNote: p.ShardNote}
 }
 
 type loadRequest struct {
@@ -125,11 +157,12 @@ type accessAnswer struct {
 }
 
 type accessResponse struct {
-	Total     int64          `json:"total"`
-	Mode      string         `json:"mode"`
-	Tractable bool           `json:"tractable"`
-	Verdict   string         `json:"verdict"`
-	Answers   []accessAnswer `json:"answers"`
+	Total     int64  `json:"total"`
+	Mode      string `json:"mode"`
+	Tractable bool   `json:"tractable"`
+	Verdict   string `json:"verdict"`
+	shardEcho
+	Answers []accessAnswer `json:"answers"`
 }
 
 func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
@@ -147,6 +180,7 @@ func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 		Mode:      string(h.Plan.Mode),
 		Tractable: h.Plan.Tractable,
 		Verdict:   h.Plan.Verdict.String(),
+		shardEcho: shardInfo(h.Plan),
 		Answers:   make([]accessAnswer, len(req.Ks)),
 	}
 	for i, k := range req.Ks {
@@ -167,11 +201,12 @@ type rangeRequest struct {
 }
 
 type rangeResponse struct {
-	Total     int64            `json:"total"`
-	Mode      string           `json:"mode"`
-	Tractable bool             `json:"tractable"`
-	K0        int64            `json:"k0"`
-	Tuples    [][]values.Value `json:"tuples"`
+	Total     int64  `json:"total"`
+	Mode      string `json:"mode"`
+	Tractable bool   `json:"tractable"`
+	K0        int64  `json:"k0"`
+	shardEcho
+	Tuples [][]values.Value `json:"tuples"`
 }
 
 // maxRange bounds one /range window (the client can page).
@@ -201,6 +236,7 @@ func handleRange(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	width := h.Width()
 	resp := rangeResponse{
 		Total: h.Total(), Mode: string(h.Plan.Mode), Tractable: h.Plan.Tractable, K0: req.K0,
+		shardEcho: shardInfo(h.Plan),
 	}
 	n := 0
 	if width > 0 {
@@ -272,11 +308,14 @@ func handleClassify(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 }
 
 type countRequest struct {
-	Query string `json:"query"`
+	Query   string `json:"query"`
+	Shards  int    `json:"shards,omitempty"`
+	ShardBy string `json:"shard_by,omitempty"`
 }
 
 type countResponse struct {
 	Count int64 `json:"count"`
+	shardEcho
 }
 
 func handleCount(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
@@ -284,12 +323,16 @@ func handleCount(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n, err := e.Count(req.Query)
+	// Shards ≥ 2 scatter-gathers: per-shard counts run in parallel and
+	// sum (shard answer sets partition the answer space).
+	n, info, err := e.CountSharded(req.Query, req.Shards, req.ShardBy)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	reply(w, countResponse{Count: n})
+	reply(w, countResponse{Count: n, shardEcho: shardEcho{
+		Shards: info.Shards, ShardBy: info.ShardBy, ShardNote: info.ShardNote,
+	}})
 }
 
 type statsResponse struct {
@@ -312,7 +355,12 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		fail(w, status, fmt.Errorf("serve: bad request body: %w", err))
 		return false
 	}
 	return true
@@ -333,12 +381,20 @@ func reply(w http.ResponseWriter, body any) {
 // writeJSON encodes through a pooled buffer: one write syscall per
 // response and no per-response encoder garbage. Oversized buffers are
 // dropped instead of pooled.
+//
+// Every handler response — success or error — funnels through here, and
+// the body is fully encoded into the buffer BEFORE the status line is
+// written: a late encoding failure therefore still produces a clean
+// status code and a structured {"error": ...} body, never a 200 with a
+// truncated or mixed payload.
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	buf := encPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(body); err != nil {
 		encPool.Put(buf)
-		http.Error(w, `{"error":"serve: response encoding failed"}`, http.StatusInternalServerError)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"serve: response encoding failed"}` + "\n"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,328 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// part is one shard's direct-access structure. access may return an
+// answer aliasing the given probe buffer (layered structures) or the
+// part's immutable storage (SUM / materialized); either way the result
+// is valid until the next access with the same buffer.
+type part interface {
+	total() int64
+	rank(a order.Answer) (int64, bool)
+	access(k int64, b *access.LexBuf) (order.Answer, error)
+	newBuf() *access.LexBuf
+}
+
+type lexPart struct{ la *access.Lex }
+
+func (p lexPart) total() int64                      { return p.la.Total() }
+func (p lexPart) rank(a order.Answer) (int64, bool) { return p.la.Rank(a) }
+func (p lexPart) newBuf() *access.LexBuf            { return p.la.NewBuf() }
+func (p lexPart) access(k int64, b *access.LexBuf) (order.Answer, error) {
+	return p.la.AccessInto(b, k)
+}
+
+type sumPart struct{ s *access.Sum }
+
+func (p sumPart) total() int64                      { return p.s.Total() }
+func (p sumPart) rank(a order.Answer) (int64, bool) { return p.s.Rank(a) }
+func (p sumPart) newBuf() *access.LexBuf            { return nil }
+func (p sumPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+	return p.s.Access(k)
+}
+
+type matLexPart struct {
+	m *access.Materialized
+	l order.Lex
+}
+
+func (p matLexPart) total() int64                      { return p.m.Total() }
+func (p matLexPart) rank(a order.Answer) (int64, bool) { return p.m.RankLex(a, p.l) }
+func (p matLexPart) newBuf() *access.LexBuf            { return nil }
+func (p matLexPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+	return p.m.Access(k)
+}
+
+type matSumPart struct {
+	m *access.Materialized
+	w order.Sum
+}
+
+func (p matSumPart) total() int64                      { return p.m.Total() }
+func (p matSumPart) rank(a order.Answer) (int64, bool) { return p.m.RankSum(a, p.w) }
+func (p matSumPart) newBuf() *access.LexBuf            { return nil }
+func (p matSumPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+	return p.m.Access(k)
+}
+
+// Handle merges P per-shard structures sharing one total answer order
+// into a single logical accessor. It is immutable after construction
+// and safe for any number of concurrent goroutines: per-probe scratch
+// comes from an internal pool, so steady-state accesses allocate
+// nothing beyond what the caller's destination slice needs.
+type Handle struct {
+	// Query is the query the parts were built for (the FD-extension
+	// when the caller extended before sharding).
+	Query *cq.Query
+	// Part records how the instance was split.
+	Part Partitioning
+	// Completed is the realized total lex order of layered parts (zero
+	// for SUM and materialized-SUM groups).
+	Completed order.Lex
+	// BuildNanos records each part's build wall time, for rabench and
+	// scaling diagnostics. Read-only.
+	BuildNanos []int64
+
+	parts  []part
+	totals []int64
+	total  int64
+	cmp    func(a, b order.Answer) int
+
+	probes sync.Pool
+}
+
+// probe is the per-call scratch of one merge operation.
+type probe struct {
+	bufs  []*access.LexBuf
+	lo    []int64
+	hi    []int64
+	ranks []int64
+	cur   []order.Answer
+	idx   []int64
+}
+
+func newHandle(q *cq.Query, pt Partitioning, parts []part, cmp func(a, b order.Answer) int) *Handle {
+	h := &Handle{Query: q, Part: pt, parts: parts, cmp: cmp, totals: make([]int64, len(parts))}
+	for i, p := range parts {
+		h.totals[i] = p.total()
+		h.total += h.totals[i]
+	}
+	h.probes.New = func() any {
+		pr := &probe{
+			bufs:  make([]*access.LexBuf, len(parts)),
+			lo:    make([]int64, len(parts)),
+			hi:    make([]int64, len(parts)),
+			ranks: make([]int64, len(parts)),
+			cur:   make([]order.Answer, len(parts)),
+			idx:   make([]int64, len(parts)),
+		}
+		for i, p := range parts {
+			pr.bufs[i] = p.newBuf()
+		}
+		return pr
+	}
+	return h
+}
+
+// Total returns |Q(I)| (the sum of the per-shard answer counts).
+func (h *Handle) Total() int64 { return h.total }
+
+// Shards returns the shard count.
+func (h *Handle) Shards() int { return len(h.parts) }
+
+// PartTotals returns a copy of the per-shard answer counts.
+func (h *Handle) PartTotals() []int64 {
+	return append([]int64(nil), h.totals...)
+}
+
+func (h *Handle) getProbe() *probe  { return h.probes.Get().(*probe) }
+func (h *Handle) putProbe(p *probe) { h.probes.Put(p) }
+
+// locate finds the global k-th answer by binary-searching the global
+// rank against per-shard answer counts. It keeps, per shard, the local
+// index window that could still hold the k-th answer; each step probes
+// the median candidate of the widest window, prices it on every shard
+// (Rank = answers strictly below, O(log n) each), and either returns it
+// (global rank k) or discards half of the widest window plus everything
+// every other shard has priced on the wrong side. On return pr.ranks
+// holds each shard's count of answers strictly below the result — the
+// owner's entry is the result's local index — which AppendRange uses as
+// its per-shard merge cursors. The returned answer may alias the
+// owner's probe buffer in pr.
+func (h *Handle) locate(pr *probe, k int64) (order.Answer, error) {
+	if k < 0 || k >= h.total {
+		return nil, access.ErrOutOfBound
+	}
+	lo, hi := pr.lo, pr.hi
+	for i := range h.parts {
+		lo[i], hi[i] = 0, h.totals[i]
+	}
+	// Each iteration halves some window; 64 bits per part bounds the
+	// total number of halvings.
+	maxIter := 64*len(h.parts) + 2
+	for iter := 0; iter < maxIter; iter++ {
+		s, width := -1, int64(0)
+		for j := range h.parts {
+			if w := hi[j] - lo[j]; w > width {
+				s, width = j, w
+			}
+		}
+		if s < 0 {
+			break
+		}
+		m := lo[s] + width/2
+		x, err := h.parts[s].access(m, pr.bufs[s])
+		if err != nil {
+			return nil, fmt.Errorf("shard: internal: part %d access(%d): %w", s, m, err)
+		}
+		r := m
+		pr.ranks[s] = m
+		for j := range h.parts {
+			if j == s {
+				continue
+			}
+			rj, _ := h.parts[j].rank(x)
+			pr.ranks[j] = rj
+			r += rj
+		}
+		switch {
+		case r == k:
+			return x, nil
+		case r > k:
+			// The k-th answer precedes x: its local index in any shard
+			// is below that shard's count of answers preceding x.
+			for j := range h.parts {
+				if pr.ranks[j] < hi[j] {
+					hi[j] = pr.ranks[j]
+				}
+			}
+		default:
+			// The k-th answer follows x: at least ranks[j] local
+			// answers precede it everywhere, and x itself is excluded
+			// in its own shard.
+			for j := range h.parts {
+				if pr.ranks[j] > lo[j] {
+					lo[j] = pr.ranks[j]
+				}
+			}
+			if m+1 > lo[s] {
+				lo[s] = m + 1
+			}
+		}
+	}
+	return nil, fmt.Errorf("shard: internal: rank search did not converge for k=%d", k)
+}
+
+// Access returns the global k-th answer in the shared order. The answer
+// is freshly allocated; use AppendTuple for the allocation-free path.
+func (h *Handle) Access(k int64) (order.Answer, error) {
+	pr := h.getProbe()
+	x, err := h.locate(pr, k)
+	if err != nil {
+		h.putProbe(pr)
+		return nil, err
+	}
+	out := append(order.Answer(nil), x...)
+	h.putProbe(pr)
+	return out, nil
+}
+
+// AppendTuple appends the projection of the global k-th answer onto the
+// given head variables to dst and returns the extended slice,
+// allocating only when dst lacks capacity.
+func (h *Handle) AppendTuple(dst []values.Value, head []cq.VarID, k int64) ([]values.Value, error) {
+	pr := h.getProbe()
+	x, err := h.locate(pr, k)
+	if err != nil {
+		h.putProbe(pr)
+		return dst, err
+	}
+	for _, v := range head {
+		dst = append(dst, x[v])
+	}
+	h.putProbe(pr)
+	return dst, nil
+}
+
+// Rank returns the number of answers strictly preceding the tuple in
+// the global order (the sum of per-shard ranks) and whether the tuple
+// is an answer of some shard.
+func (h *Handle) Rank(a order.Answer) (int64, bool) {
+	var k int64
+	exact := false
+	for _, p := range h.parts {
+		r, ex := p.rank(a)
+		k += r
+		exact = exact || ex
+	}
+	return k, exact
+}
+
+// Inverted returns the global index of an answer, or ErrNotAnAnswer.
+func (h *Handle) Inverted(a order.Answer) (int64, error) {
+	k, ok := h.Rank(a)
+	if !ok {
+		return 0, access.ErrNotAnAnswer
+	}
+	return k, nil
+}
+
+// AppendRange appends the head projections of the global answers
+// k0 ≤ k < k1 to dst: one rank search finds each shard's starting
+// cursor, then a P-way merge emits the window in order, costing one
+// local O(log n) access per emitted answer plus a P-wide comparison.
+func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) ([]values.Value, error) {
+	if k0 >= k1 {
+		return dst, nil
+	}
+	if k0 < 0 || k1 > h.total {
+		return dst, access.ErrOutOfBound
+	}
+	pr := h.getProbe()
+	defer h.putProbe(pr)
+	if k0 == 0 {
+		for j := range h.parts {
+			pr.idx[j] = 0
+		}
+	} else {
+		if _, err := h.locate(pr, k0); err != nil {
+			return dst, err
+		}
+		copy(pr.idx, pr.ranks)
+	}
+	for j := range h.parts {
+		pr.cur[j] = nil
+		if pr.idx[j] < h.totals[j] {
+			x, err := h.parts[j].access(pr.idx[j], pr.bufs[j])
+			if err != nil {
+				return dst, fmt.Errorf("shard: internal: part %d access(%d): %w", j, pr.idx[j], err)
+			}
+			pr.cur[j] = x
+		}
+	}
+	for n := k1 - k0; n > 0; n-- {
+		best := -1
+		for j := range h.parts {
+			if pr.cur[j] == nil {
+				continue
+			}
+			if best < 0 || h.cmp(pr.cur[j], pr.cur[best]) < 0 {
+				best = j
+			}
+		}
+		if best < 0 {
+			return dst, fmt.Errorf("shard: internal: merge ran dry with %d answers pending", n)
+		}
+		for _, v := range head {
+			dst = append(dst, pr.cur[best][v])
+		}
+		pr.idx[best]++
+		pr.cur[best] = nil
+		if pr.idx[best] < h.totals[best] {
+			x, err := h.parts[best].access(pr.idx[best], pr.bufs[best])
+			if err != nil {
+				return dst, fmt.Errorf("shard: internal: part %d access(%d): %w", best, pr.idx[best], err)
+			}
+			pr.cur[best] = x
+		}
+	}
+	return dst, nil
+}
