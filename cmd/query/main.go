@@ -1,23 +1,39 @@
 // Command query loads relations from TSV files (as written by cmd/gen),
 // builds a direct-access structure for a query and order, and answers
-// index probes from the command line.
+// index probes from the command line — or, with -remote, sends the same
+// probes to a running cmd/serve instance through the v1 prepared-query
+// API via the client SDK.
 //
 // Usage:
 //
 //	query -q "Q(x, y, z) :- R(x, y), S(y, z)" -order "x, y, z" \
 //	      -data /tmp/data -k 0 -k 100 -k 12345 [-fallback]
+//	query -q ... -order ... -remote http://localhost:8080 -k 0 -k 100
+//	query -q ... -order ... -data /tmp/data -stream 10000 > rows.tsv
 //
-// Relation R is loaded from <data>/R.tsv. With -fallback, intractable
+// Relation R is loaded from <data>/R.tsv (local mode; remote mode
+// expects the server to hold the data). With -fallback, intractable
 // orders are served by materialize+sort instead of failing.
+//
+// With -stream N the first N answers are written to stdout as
+// tab-separated rows, one per line, and all diagnostics go to stderr —
+// so local and remote streams of the same query diff clean. Locally the
+// stream runs through the facade engine's prepared-query cursor;
+// remotely it is an NDJSON cursor stream over HTTP. CI's http-smoke job
+// diffs exactly these two outputs.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"rankedaccess"
+	"rankedaccess/client"
 )
 
 type multi []string
@@ -32,6 +48,9 @@ func main() {
 		dataDir  = flag.String("data", ".", "directory with <Relation>.tsv files")
 		fallback = flag.Bool("fallback", false, "materialize+sort when the order is intractable")
 		count    = flag.Bool("count", false, "print the answer count and exit")
+		remote   = flag.String("remote", "", "base URL of a running serve instance; probe it via the v1 API")
+		name     = flag.String("name", "cli", "prepared-query name to register (remote mode)")
+		stream   = flag.Int("stream", 0, "stream the first N answers as TSV rows on stdout")
 		ks       multi
 		fdsRaw   multi
 	)
@@ -42,9 +61,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "query: -q is required")
 		os.Exit(2)
 	}
-	q, err := rankedaccess.ParseQuery(*qSrc)
+	if *remote != "" {
+		runRemote(*remote, *name, *qSrc, *lSrc, fdsRaw, ks, *count, *stream)
+		return
+	}
+	runLocal(*qSrc, *lSrc, *dataDir, fdsRaw, ks, *fallback, *count, *stream)
+}
+
+func runLocal(qSrc, lSrc, dataDir string, fdsRaw, ks multi, fallback, count bool, stream int) {
+	q, err := rankedaccess.ParseQuery(qSrc)
 	check(err)
-	l, err := rankedaccess.ParseLex(q, *lSrc)
+	l, err := rankedaccess.ParseLex(q, lSrc)
 	check(err)
 	fds, err := rankedaccess.ParseFDs(q, fdsRaw...)
 	check(err)
@@ -54,20 +81,39 @@ func main() {
 		if in.Relation(atom.Rel) != nil {
 			continue
 		}
-		path := filepath.Join(*dataDir, atom.Rel+".tsv")
+		path := filepath.Join(dataDir, atom.Rel+".tsv")
 		f, err := os.Open(path)
 		check(err)
 		check(in.ReadRelation(atom.Rel, f))
 		check(f.Close())
 	}
-	fmt.Printf("loaded %d tuples\n", in.Size())
+	fmt.Fprintf(os.Stderr, "loaded %d tuples\n", in.Size())
+
+	if stream > 0 {
+		// Stream through the facade engine's prepared-query cursor —
+		// the same planning (tractable structure or materialized
+		// fallback) the server applies remotely.
+		e := rankedaccess.NewEngine(in, rankedaccess.EngineOptions{})
+		pq, err := e.Register("cli", rankedaccess.EngineSpec{Query: qSrc, Order: lSrc, FDs: fdsRaw})
+		check(err)
+		cur, err := pq.Cursor()
+		check(err)
+		fmt.Fprintf(os.Stderr, "answers: %d\n", cur.Total())
+		w := bufio.NewWriter(os.Stdout)
+		for row, err := range cur.All(0, int64(stream)) {
+			check(err)
+			writeRow(w, row)
+		}
+		check(w.Flush())
+		return
+	}
 
 	var acc rankedaccess.Accessor
-	if *fallback {
+	if fallback {
 		a, tractable, err := rankedaccess.NewDirectAccessAny(q, in, l, fds)
 		check(err)
 		if !tractable {
-			fmt.Println("note: order is intractable; served by materialize+sort")
+			fmt.Fprintln(os.Stderr, "note: order is intractable; served by materialize+sort")
 		}
 		acc = a
 	} else {
@@ -76,17 +122,14 @@ func main() {
 		acc = a
 	}
 	fmt.Printf("answers: %d\n", acc.Total())
-	if *count {
+	if count {
 		return
 	}
 	if len(ks) == 0 {
 		ks = multi{"0"}
 	}
-	for _, ks := range ks {
-		var k int64
-		if _, err := fmt.Sscanf(ks, "%d", &k); err != nil {
-			check(fmt.Errorf("bad index %q", ks))
-		}
+	for _, kStr := range ks {
+		k := parseK(kStr)
 		a, err := acc.Access(k)
 		if err != nil {
 			fmt.Printf("  [%d] %v\n", k, err)
@@ -94,6 +137,89 @@ func main() {
 		}
 		fmt.Printf("  [%d] %v\n", k, rankedaccess.AnswerTuple(q, a))
 	}
+}
+
+// streamBatch is the remote cursor page size: large enough to amortize
+// HTTP round trips, small enough to start printing immediately.
+const streamBatch = 8192
+
+func runRemote(base, name, qSrc, lSrc string, fdsRaw, ks multi, count bool, stream int) {
+	ctx := context.Background()
+	c, err := client.Dial(ctx, base, nil)
+	check(err)
+	p, err := c.Register(ctx, name, client.Spec{Query: qSrc, Order: lSrc, FDs: fdsRaw})
+	check(err)
+	fmt.Fprintf(os.Stderr, "registered %q (%s) at %s\n", name, p.Info.Mode, base)
+
+	if stream > 0 {
+		fmt.Fprintf(os.Stderr, "answers: %d\n", p.Info.Total)
+		cur, err := p.Cursor(ctx, 0)
+		check(err)
+		w := bufio.NewWriter(os.Stdout)
+		remaining := int64(stream)
+		if t := cur.Total(); remaining > t {
+			remaining = t
+		}
+		for remaining > 0 && !cur.Done() {
+			n := streamBatch
+			if int64(n) > remaining {
+				n = int(remaining)
+			}
+			got, err := cur.Stream(ctx, n, func(row []client.Value) error {
+				writeRow(w, row)
+				return nil
+			})
+			check(err)
+			if got == 0 {
+				break
+			}
+			remaining -= int64(got)
+		}
+		check(w.Flush())
+		check(cur.Close(ctx))
+		return
+	}
+
+	fmt.Printf("answers: %d\n", p.Info.Total)
+	if count {
+		return
+	}
+	if len(ks) == 0 {
+		ks = multi{"0"}
+	}
+	idx := make([]int64, len(ks))
+	for i, kStr := range ks {
+		idx[i] = parseK(kStr)
+	}
+	answers, err := p.Access(ctx, idx...)
+	check(err)
+	for _, a := range answers {
+		if a.Err != "" {
+			fmt.Printf("  [%d] %s\n", a.K, a.Err)
+			continue
+		}
+		fmt.Printf("  [%d] %v\n", a.K, a.Tuple)
+	}
+}
+
+// writeRow prints one answer as tab-separated values — identical
+// bytes from the local cursor and the remote NDJSON stream.
+func writeRow(w *bufio.Writer, row []int64) {
+	for j, v := range row {
+		if j > 0 {
+			w.WriteByte('\t')
+		}
+		w.WriteString(strconv.FormatInt(v, 10))
+	}
+	w.WriteByte('\n')
+}
+
+func parseK(s string) int64 {
+	k, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		check(fmt.Errorf("bad index %q", s))
+	}
+	return k
 }
 
 func check(err error) {

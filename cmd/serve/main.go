@@ -1,8 +1,10 @@
 // Command serve runs the ranked direct-access engine as an HTTP/JSON
 // service: load an instance (from TSV files at startup and/or POST
-// /load at runtime), then answer /access, /select, /classify, and
-// /count requests. Access structures are cached across requests, so a
-// repeated (query, order) pair skips its O(n log n) preprocessing.
+// /load at runtime), then serve the /v1 prepared-query API (register a
+// query once, probe and stream it by name — see internal/serve) plus
+// the legacy one-shot endpoints. Access structures are cached across
+// requests, so a repeated (query, order) pair skips its O(n log n)
+// preprocessing.
 //
 // Usage:
 //
@@ -10,31 +12,42 @@
 //
 // Every <data>/<Name>.tsv file (as written by cmd/gen) is loaded as
 // relation <Name>. With -workers 1 preprocessing runs serially; 0 uses
-// all cores.
+// all cores. SIGINT/SIGTERM drain in-flight requests before exiting.
 //
 // Example session:
 //
-//	curl -s localhost:8080/access -d '{
+//	curl -s localhost:8080/v1/queries -d '{
+//	  "name": "by_xyz",
 //	  "query": "Q(x, y, z) :- R(x, y), S(y, z)",
-//	  "order": "x, y desc, z",
-//	  "ks": [0, 1000, 123456]
+//	  "order": "x, y desc, z"
 //	}'
+//	curl -s localhost:8080/v1/queries/by_xyz/access -d '{"ks": [0, 1000]}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/par"
 	"rankedaccess/internal/serve"
 )
+
+// drainTimeout bounds graceful shutdown: in-flight requests (including
+// long NDJSON streams) get this long to finish after SIGINT/SIGTERM
+// before the listener is torn down hard.
+const drainTimeout = 15 * time.Second
 
 func main() {
 	var (
@@ -54,9 +67,39 @@ func main() {
 	}
 	e := engine.New(in, engine.Options{CacheSize: *cache})
 
-	log.Printf("serve: %d tuples loaded, listening on %s", in.Size(), *addr)
-	if err := http.ListenAndServe(*addr, serve.NewHandler(e)); err != nil {
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewHandler(e),
+		// Bound slow-header clients (slowloris) and idle keep-alive
+		// connections; no overall write timeout, since NDJSON cursor
+		// streams are legitimately long-lived.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serve: %d tuples loaded, listening on %s", in.Size(), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("serve: signal received, draining in-flight requests (up to %s)", drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("serve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("serve: drained, bye")
 	}
 }
 

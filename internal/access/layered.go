@@ -35,9 +35,14 @@ var ErrOutOfBound = errors.New("access: index out of bound")
 // not an answer.
 var ErrNotAnAnswer = errors.New("access: not an answer")
 
+// ErrIntractable is the sentinel all *IntractableError values unwrap
+// to, so callers can test the dichotomy side with errors.Is across
+// every layer (engine, shard, serve) without knowing the concrete type.
+var ErrIntractable = errors.New("access: intractable under the paper's dichotomy")
+
 // IntractableError reports that the requested (query, order) pair is on
 // the intractable side of the paper's dichotomy; it carries the verdict
-// with the hardness certificate.
+// with the hardness certificate. It wraps ErrIntractable.
 type IntractableError struct {
 	Verdict classify.Verdict
 }
@@ -45,6 +50,10 @@ type IntractableError struct {
 func (e *IntractableError) Error() string {
 	return "access: " + e.Verdict.String()
 }
+
+// Unwrap makes errors.Is(err, ErrIntractable) hold for every
+// IntractableError.
+func (e *IntractableError) Unwrap() error { return ErrIntractable }
 
 // layer is one layer of the layered join tree: a node whose variables are
 // keyVars ∪ {v}, with v the layer's lexicographic variable. Its relation

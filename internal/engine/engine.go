@@ -47,6 +47,10 @@ import (
 // inverted access (the SUM structures have no inverse).
 var ErrNoInverted = errors.New("engine: inverted access unsupported for this structure")
 
+// ErrNotPrepared reports that no prepared query with the requested name
+// is registered (see Engine.Register / Engine.Prepared).
+var ErrNotPrepared = errors.New("engine: query not prepared")
+
 // DefaultCacheSize bounds the accessor cache when Options.CacheSize is
 // unset.
 const DefaultCacheSize = 64
@@ -310,6 +314,15 @@ type Stats struct {
 	Version uint64
 	// Tuples is the instance size n.
 	Tuples int
+	// Prepared is the number of registered named queries.
+	Prepared int
+	// RegistryHits counts by-name probes served from a registered
+	// query's current handle with zero spec re-parsing (not even a
+	// cache-key construction).
+	RegistryHits uint64
+	// Reprepares counts automatic rebuilds of registered queries after
+	// an instance-version change.
+	Reprepares uint64
 }
 
 // flight is one in-progress build, shared by concurrent requesters.
@@ -328,12 +341,22 @@ type Engine struct {
 	in      *database.Instance
 	version uint64
 
+	// vnow mirrors version for lock-free staleness checks by registered
+	// queries and cursors; it is written only under mu exclusive.
+	vnow atomic.Uint64
+
 	// cmu guards the cache and the in-flight build table.
 	cmu     sync.Mutex
 	cache   *lru
 	flights map[string]*flight
 
-	hits, misses atomic.Uint64
+	// rmu guards the named-query registry.
+	rmu      sync.Mutex
+	registry map[string]*PreparedQuery
+	regGen   uint64
+
+	hits, misses        atomic.Uint64
+	regHits, reprepares atomic.Uint64
 }
 
 // New returns an Engine over the given instance. The Engine owns the
@@ -347,9 +370,10 @@ func New(in *database.Instance, opts Options) *Engine {
 		size = DefaultCacheSize
 	}
 	return &Engine{
-		in:      in,
-		cache:   newLRU(size),
-		flights: make(map[string]*flight),
+		in:       in,
+		cache:    newLRU(size),
+		flights:  make(map[string]*flight),
+		registry: make(map[string]*PreparedQuery),
 	}
 }
 
@@ -357,10 +381,15 @@ func New(in *database.Instance, opts Options) *Engine {
 // holds mu exclusively.
 func (e *Engine) invalidateLocked() {
 	e.version++
+	e.vnow.Store(e.version)
 	e.cmu.Lock()
 	e.cache.purge()
 	e.cmu.Unlock()
 }
+
+// versionNow reads the instance version without locking; registered
+// queries and cursors use it for staleness checks on their hot paths.
+func (e *Engine) versionNow() uint64 { return e.vnow.Load() }
 
 // Mutate applies f to the instance under the exclusive lock, bumps the
 // instance version, and purges the accessor cache, so later requests are
@@ -414,12 +443,18 @@ func (e *Engine) Stats() Stats {
 	e.cmu.Lock()
 	entries := e.cache.len()
 	e.cmu.Unlock()
+	e.rmu.Lock()
+	prepared := len(e.registry)
+	e.rmu.Unlock()
 	return Stats{
-		Hits:    e.hits.Load(),
-		Misses:  e.misses.Load(),
-		Entries: entries,
-		Version: version,
-		Tuples:  tuples,
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Entries:      entries,
+		Version:      version,
+		Tuples:       tuples,
+		Prepared:     prepared,
+		RegistryHits: e.regHits.Load(),
+		Reprepares:   e.reprepares.Load(),
 	}
 }
 
@@ -496,15 +531,24 @@ func (s Spec) parse() (*parsed, error) {
 // instance version. Concurrent calls for the same missing key perform a
 // single build.
 func (e *Engine) Prepare(s Spec) (*Handle, error) {
+	h, _, err := e.prepareVersioned(s)
+	return h, err
+}
+
+// prepareVersioned is Prepare returning also the instance version the
+// handle was resolved against, so registered queries can record which
+// snapshot their current handle answers for.
+func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	key := s.key(e.version)
+	version := e.version
+	key := s.key(version)
 
 	e.cmu.Lock()
 	if h := e.cache.get(key); h != nil {
 		e.cmu.Unlock()
 		e.hits.Add(1)
-		return h, nil
+		return h, version, nil
 	}
 	if fl, ok := e.flights[key]; ok {
 		e.cmu.Unlock()
@@ -512,7 +556,7 @@ func (e *Engine) Prepare(s Spec) (*Handle, error) {
 		// The builder also holds mu.RLock, so waiting here cannot
 		// deadlock with a writer: both readers run to completion first.
 		<-fl.done
-		return fl.h, fl.err
+		return fl.h, version, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
 	e.flights[key] = fl
@@ -528,7 +572,7 @@ func (e *Engine) Prepare(s Spec) (*Handle, error) {
 	}
 	delete(e.flights, key)
 	e.cmu.Unlock()
-	return fl.h, fl.err
+	return fl.h, version, fl.err
 }
 
 // build plans and constructs a structure; the caller holds mu.RLock, so
@@ -777,8 +821,15 @@ func (e *Engine) Select(s Spec, k int64) ([]values.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.selectParsed(p, k)
+}
+
+// selectParsed is Select after parsing; registered queries call it with
+// their cached parse, skipping per-request spec processing.
+func (e *Engine) selectParsed(p *parsed, k int64) ([]values.Value, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	var err error
 	var a order.Answer
 	switch {
 	case p.sum && len(p.fds) == 0:
@@ -867,6 +918,12 @@ func (e *Engine) Classify(problem string, s Spec) (classify.Verdict, error) {
 	if err != nil {
 		return classify.Verdict{}, err
 	}
+	return classifyParsed(problem, p)
+}
+
+// classifyParsed is Classify after parsing (the dichotomies depend only
+// on the query, order, and FDs — never on data).
+func classifyParsed(problem string, p *parsed) (classify.Verdict, error) {
 	hasFDs := len(p.fds) > 0
 	switch problem {
 	case ProblemDirectAccessLex:

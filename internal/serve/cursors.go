@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"rankedaccess/internal/engine"
+)
+
+// defaultMaxCursors bounds concurrently open server-side cursors; the
+// least recently used cursor is evicted when a new one would exceed it
+// (a cursor is one scan position — recreating an evicted one is a
+// single POST).
+const defaultMaxCursors = 1024
+
+// serverCursor is one client-visible cursor: an opaque id bound to an
+// engine cursor. Its mutex serializes concurrent /next calls on the
+// same id (each call must observe and advance one scan position);
+// distinct cursors never contend.
+type serverCursor struct {
+	id    string
+	query string // registered query name, echoed in responses
+
+	mu  sync.Mutex
+	cur *engine.Cursor
+
+	lastUse uint64 // store sequence number at last touch, for LRU eviction
+}
+
+// cursorStore issues and resolves opaque cursor tokens.
+type cursorStore struct {
+	mu  sync.Mutex
+	m   map[string]*serverCursor
+	seq uint64
+	max int
+}
+
+func newCursorStore(max int) *cursorStore {
+	if max <= 0 {
+		max = defaultMaxCursors
+	}
+	return &cursorStore{m: make(map[string]*serverCursor), max: max}
+}
+
+// newToken returns an unguessable cursor id (a cursor grants read
+// access to its query's answers, so ids must not be enumerable).
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: cursor token: %w", err)
+	}
+	return "c" + hex.EncodeToString(b[:]), nil
+}
+
+// create registers a cursor and returns it, evicting the least
+// recently used cursor when the store is full.
+func (cs *cursorStore) create(query string, cur *engine.Cursor) (*serverCursor, error) {
+	id, err := newToken()
+	if err != nil {
+		return nil, err
+	}
+	sc := &serverCursor{id: id, query: query, cur: cur}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for len(cs.m) >= cs.max {
+		var oldest *serverCursor
+		for _, c := range cs.m {
+			if oldest == nil || c.lastUse < oldest.lastUse {
+				oldest = c
+			}
+		}
+		delete(cs.m, oldest.id)
+	}
+	cs.seq++
+	sc.lastUse = cs.seq
+	cs.m[id] = sc
+	return sc, nil
+}
+
+// get resolves an id, refreshing its LRU stamp; nil when unknown (or
+// already evicted/closed).
+func (cs *cursorStore) get(id string) *serverCursor {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	sc := cs.m[id]
+	if sc != nil {
+		cs.seq++
+		sc.lastUse = cs.seq
+	}
+	return sc
+}
+
+// remove closes an id, reporting whether it was open.
+func (cs *cursorStore) remove(id string) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	_, ok := cs.m[id]
+	delete(cs.m, id)
+	return ok
+}
+
+// open returns the number of open cursors.
+func (cs *cursorStore) open() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.m)
+}

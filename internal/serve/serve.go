@@ -2,7 +2,10 @@
 // front end cmd/serve mounts. All request bodies are JSON; answers are
 // head tuples of dictionary-encoded int64 values.
 //
-// Endpoints:
+// The primary surface is the versioned prepared-query API under /v1
+// (register a spec once under a name, probe and stream it by name —
+// see v1.go). The legacy one-shot endpoints remain as thin shims over
+// the same cores:
 //
 //	POST /load      {"relation": "R", "rows": [[1,2], ...]}
 //	POST /access    {"query", "order"|"sum_by", "fds", "ks": [0, 7, ...]}
@@ -62,6 +65,9 @@ var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // tuplePool recycles the flat answer buffers of /range responses.
 var tuplePool = sync.Pool{New: func() any { return new([]values.Value) }}
 
+// ndjsonPool recycles the line-encoding buffers of NDJSON streaming.
+var ndjsonPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // putTupleBuf returns a flat answer buffer to the pool unless it grew
 // past the cap.
 func putTupleBuf(flatP *[]values.Value, flat []values.Value) {
@@ -71,8 +77,12 @@ func putTupleBuf(flatP *[]values.Value, flat []values.Value) {
 	}
 }
 
-// NewHandler mounts the API for one engine.
+// NewHandler mounts the API for one engine: the versioned /v1
+// prepared-query surface (see v1.go) and the legacy one-shot endpoints,
+// which are thin shims over the same cores and remain supported (see
+// CONTRIBUTING.md for the deprecation policy).
 func NewHandler(e *engine.Engine) http.Handler {
+	st := newCursorStore(defaultMaxCursors)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) { handleLoad(e, w, r) })
 	mux.HandleFunc("POST /access", func(w http.ResponseWriter, r *http.Request) { handleAccess(e, w, r) })
@@ -80,7 +90,20 @@ func NewHandler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) { handleSelect(e, w, r) })
 	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) { handleClassify(e, w, r) })
 	mux.HandleFunc("POST /count", func(w http.ResponseWriter, r *http.Request) { handleCount(e, w, r) })
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { handleStats(e, w, r) })
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { handleStats(e, st, w, r) })
+
+	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) { handleRegister(e, w, r) })
+	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) { handleList(e, w, r) })
+	mux.HandleFunc("GET /v1/queries/{name}", func(w http.ResponseWriter, r *http.Request) { handleGetQuery(e, w, r) })
+	mux.HandleFunc("DELETE /v1/queries/{name}", func(w http.ResponseWriter, r *http.Request) { handleEvict(e, w, r) })
+	mux.HandleFunc("POST /v1/queries/{name}/access", func(w http.ResponseWriter, r *http.Request) { handleV1Access(e, w, r) })
+	mux.HandleFunc("POST /v1/queries/{name}/range", func(w http.ResponseWriter, r *http.Request) { handleV1Range(e, w, r) })
+	mux.HandleFunc("POST /v1/queries/{name}/select", func(w http.ResponseWriter, r *http.Request) { handleV1Select(e, w, r) })
+	mux.HandleFunc("POST /v1/queries/{name}/count", func(w http.ResponseWriter, r *http.Request) { handleV1Count(e, w, r) })
+	mux.HandleFunc("POST /v1/queries/{name}/classify", func(w http.ResponseWriter, r *http.Request) { handleV1Classify(e, w, r) })
+	mux.HandleFunc("POST /v1/queries/{name}/cursor", func(w http.ResponseWriter, r *http.Request) { handleCursorCreate(e, st, w, r) })
+	mux.HandleFunc("GET /v1/cursors/{id}/next", func(w http.ResponseWriter, r *http.Request) { handleCursorNext(st, w, r) })
+	mux.HandleFunc("DELETE /v1/cursors/{id}", func(w http.ResponseWriter, r *http.Request) { handleCursorClose(st, w, r) })
 	return mux
 }
 
@@ -165,33 +188,47 @@ type accessResponse struct {
 	Answers []accessAnswer `json:"answers"`
 }
 
-func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	var req accessRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	h, tuples, errs, err := e.Access(req.spec(), req.Ks)
-	if err != nil {
-		fail(w, http.StatusBadRequest, err)
-		return
-	}
+// buildAccessResponse probes a batch of indices against a prepared
+// handle — the core shared by the legacy /access endpoint and
+// /v1/queries/{name}/access. One flat backing array serves the whole
+// batch; per-index failures land in the answer entries without failing
+// the batch.
+func buildAccessResponse(h *engine.Handle, ks []int64) accessResponse {
 	resp := accessResponse{
 		Total:     h.Total(),
 		Mode:      string(h.Plan.Mode),
 		Tractable: h.Plan.Tractable,
 		Verdict:   h.Plan.Verdict.String(),
 		shardEcho: shardInfo(h.Plan),
-		Answers:   make([]accessAnswer, len(req.Ks)),
+		Answers:   make([]accessAnswer, len(ks)),
 	}
-	for i, k := range req.Ks {
+	flat := make([]values.Value, 0, len(ks)*h.Width())
+	for i, k := range ks {
 		resp.Answers[i].K = k
-		if errs[i] != nil {
-			resp.Answers[i].Error = publicErr(errs[i])
+		start := len(flat)
+		var err error
+		flat, err = h.AppendTuple(flat, k)
+		if err != nil {
+			resp.Answers[i].Error = publicErr(err)
+			flat = flat[:start]
 			continue
 		}
-		resp.Answers[i].Tuple = tuples[i]
+		resp.Answers[i].Tuple = flat[start:len(flat):len(flat)]
 	}
-	reply(w, resp)
+	return resp
+}
+
+func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req accessRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	h, err := e.Prepare(req.spec())
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	reply(w, buildAccessResponse(h, req.Ks))
 }
 
 type rangeRequest struct {
@@ -233,23 +270,30 @@ func handleRange(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 		fail(w, status, err)
 		return
 	}
+	reply(w, buildRangeResponse(h, flat, req.K0, req.K1))
+	putTupleBuf(flatP, flat)
+}
+
+// buildRangeResponse slices one flat answer buffer into per-tuple
+// views — the core shared by the legacy /range endpoint and
+// /v1/queries/{name}/range.
+func buildRangeResponse(h *engine.Handle, flat []values.Value, k0, k1 int64) rangeResponse {
 	width := h.Width()
 	resp := rangeResponse{
-		Total: h.Total(), Mode: string(h.Plan.Mode), Tractable: h.Plan.Tractable, K0: req.K0,
+		Total: h.Total(), Mode: string(h.Plan.Mode), Tractable: h.Plan.Tractable, K0: k0,
 		shardEcho: shardInfo(h.Plan),
 	}
 	n := 0
 	if width > 0 {
 		n = len(flat) / width
 	} else {
-		n = int(req.K1 - req.K0)
+		n = int(k1 - k0)
 	}
 	resp.Tuples = make([][]values.Value, n)
 	for i := 0; i < n; i++ {
 		resp.Tuples[i] = flat[i*width : (i+1)*width : (i+1)*width]
 	}
-	reply(w, resp)
-	putTupleBuf(flatP, flat)
+	return resp
 }
 
 type selectRequest struct {
@@ -341,13 +385,22 @@ type statsResponse struct {
 	Entries int    `json:"cache_entries"`
 	Version uint64 `json:"version"`
 	Tuples  int    `json:"tuples"`
+	// Prepared-query registry counters: RegistryHits counts by-name
+	// probes answered with zero spec re-parsing, Reprepares counts
+	// automatic rebuilds after instance mutation.
+	Prepared     int    `json:"prepared"`
+	RegistryHits uint64 `json:"registry_hits"`
+	Reprepares   uint64 `json:"reprepares"`
+	OpenCursors  int    `json:"open_cursors"`
 }
 
-func handleStats(e *engine.Engine, w http.ResponseWriter, _ *http.Request) {
+func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *http.Request) {
 	st := e.Stats()
 	reply(w, statsResponse{
 		Hits: st.Hits, Misses: st.Misses, Entries: st.Entries,
 		Version: st.Version, Tuples: st.Tuples,
+		Prepared: st.Prepared, RegistryHits: st.RegistryHits,
+		Reprepares: st.Reprepares, OpenCursors: cs.open(),
 	})
 }
 

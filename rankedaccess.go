@@ -34,7 +34,14 @@
 // a Handle safe for unbounded concurrent Access/Total/Inverted probes;
 // Engine.Access answers a batch of indices in one call. Preprocessing
 // fans out across bounded worker goroutines (see internal/par).
-// cmd/serve exposes the same Engine over HTTP/JSON.
+//
+// For prepared-statement-style serving, Engine.Register names a spec
+// once and returns a PreparedQuery probed by name with zero
+// re-parsing (re-prepared automatically when the instance mutates),
+// and Cursor streams ranked windows via Seek/Next/NextN or a
+// range-over-func All iterator. cmd/serve exposes all of it over
+// HTTP/JSON as the versioned /v1 prepared-query API; package client is
+// the matching Go SDK.
 package rankedaccess
 
 import (
@@ -96,12 +103,28 @@ type (
 	SumEnumerator = enum.SumEnumerator
 )
 
-// Errors surfaced by access and selection.
+// Errors surfaced by access and selection. All layers (access, engine,
+// shard, serve, and the remote client in client/) wrap these sentinels,
+// so errors.Is tests hold across the whole stack.
 var (
 	// ErrOutOfBound: the requested index is ≥ |Q(I)| or negative.
 	ErrOutOfBound = access.ErrOutOfBound
+	// ErrOutOfRange is ErrOutOfBound under its serving-API name: the
+	// requested rank or range lies outside [0, |Q(I)|). The v1 HTTP API
+	// maps it to 416 Requested Range Not Satisfiable.
+	ErrOutOfRange = access.ErrOutOfBound
 	// ErrNotAnAnswer: inverted access of a tuple that is not an answer.
 	ErrNotAnAnswer = access.ErrNotAnAnswer
+	// ErrNotPrepared: no prepared query registered under the requested
+	// name (mapped to HTTP 404 by the v1 API).
+	ErrNotPrepared = engine.ErrNotPrepared
+	// ErrIntractable: the (query, order) pair is on the intractable
+	// side of the paper's dichotomy. Every *access.IntractableError
+	// unwraps to it (mapped to HTTP 422 by the v1 API's strict mode).
+	ErrIntractable = access.ErrIntractable
+	// ErrCursorInvalidated: the instance mutated under a cursor bound
+	// to a prepared query (mapped to HTTP 410 by the v1 API).
+	ErrCursorInvalidated = engine.ErrCursorInvalidated
 )
 
 // ParseQuery parses the textual form "Q(x, z) :- R(x, y), S(y, z)".
@@ -315,6 +338,27 @@ type EngineSpec = engine.Spec
 // EngineHandle is a prepared, immutable access structure; safe for
 // concurrent use by any number of goroutines.
 type EngineHandle = engine.Handle
+
+// PreparedQuery is a named registration of an EngineSpec: parsed and
+// built once by Engine.Register, probed many times by name with zero
+// re-parsing, and transparently re-prepared when the instance mutates.
+// Engine.Prepared resolves a name; Engine.ListPrepared and
+// Engine.Evict manage the registry.
+type PreparedQuery = engine.PreparedQuery
+
+// PreparedID identifies one registration of a name (re-registration
+// bumps Gen).
+type PreparedID = engine.PreparedID
+
+// PreparedInfo describes one registered query (Engine.ListPrepared).
+type PreparedInfo = engine.PreparedInfo
+
+// Cursor is a stateful scan over a prepared handle: Seek/Next/NextN in
+// O(log n) each through the allocation-free access paths, plus a
+// range-over-func All(k0, k1) iterator. Open one per goroutine via
+// PreparedQuery.Cursor (invalidated by instance mutation) or
+// EngineHandle.Cursor (pinned to the handle's immutable snapshot).
+type Cursor = engine.Cursor
 
 // NewEngine returns an Engine over the given instance. The Engine owns
 // the instance from here on: mutate it only through Engine.Mutate or
