@@ -1,0 +1,70 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+)
+
+// SnapshotInfo describes one server-side snapshot: the response of
+// POST /v1/snapshots (creation counters filled) and the entries of
+// GET /v1/snapshots (file-level fields filled).
+type SnapshotInfo struct {
+	// Name identifies the snapshot file; pass it to Restore.
+	Name string `json:"name"`
+	// Bytes is the snapshot file size.
+	Bytes int64 `json:"bytes"`
+	// Version is the instance version the snapshot captured.
+	Version uint64 `json:"version,omitempty"`
+	// EngineVersion mirrors Version in directory listings.
+	EngineVersion uint64 `json:"engine_version,omitempty"`
+	// CreatedUnixNano is the checkpoint wall time (listings only).
+	CreatedUnixNano int64 `json:"created_unix_nano,omitempty"`
+	// Structures counts persisted access structures; Skipped counts
+	// structures that will rebuild on demand after a warm start
+	// (creation only).
+	Structures int `json:"structures,omitempty"`
+	Skipped    int `json:"skipped,omitempty"`
+	// Registrations counts persisted prepared-query registrations
+	// (creation only).
+	Registrations int `json:"registrations,omitempty"`
+}
+
+// RestoreInfo is the result of restoring a snapshot into the live
+// server.
+type RestoreInfo struct {
+	Name          string `json:"name"`
+	Version       uint64 `json:"version"`
+	Tuples        int    `json:"tuples"`
+	Structures    int    `json:"structures"`
+	Registrations int    `json:"registrations"`
+}
+
+// Snapshot checkpoints the server's current state (instance, built
+// structures, prepared-query registry) into its snapshot directory via
+// POST /v1/snapshots. The server must run with -snapshot-dir.
+func (c *Client) Snapshot(ctx context.Context) (SnapshotInfo, error) {
+	var out SnapshotInfo
+	_, err := c.do(ctx, http.MethodPost, "/v1/snapshots", nil, &out, "")
+	return out, err
+}
+
+// Snapshots lists the server's snapshots, newest first, via
+// GET /v1/snapshots.
+func (c *Client) Snapshots(ctx context.Context) ([]SnapshotInfo, error) {
+	var out struct {
+		Snapshots []SnapshotInfo `json:"snapshots"`
+	}
+	_, err := c.do(ctx, http.MethodGet, "/v1/snapshots", nil, &out, "")
+	return out.Snapshots, err
+}
+
+// Restore replaces the server's live state with the named snapshot via
+// POST /v1/snapshots/{name}/restore. Prepared handles and cursors
+// opened before the restore are invalidated, exactly as by any other
+// mutation.
+func (c *Client) Restore(ctx context.Context, name string) (RestoreInfo, error) {
+	var out RestoreInfo
+	_, err := c.do(ctx, http.MethodPost, "/v1/snapshots/"+url.PathEscape(name)+"/restore", nil, &out, "")
+	return out, err
+}

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/serve"
+	"rankedaccess/internal/workload"
+)
+
+// snapshotServer is testServer with the snapshot endpoints enabled.
+func snapshotServer(t *testing.T) (*Client, *engine.Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	_, in := workload.TwoPath(rng, 256, 32, 0.3)
+	e := engine.New(in, engine.Options{})
+	srv := httptest.NewServer(serve.NewHandlerWith(e, serve.Config{SnapshotDir: t.TempDir()}))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { e.Close() })
+	c, err := Dial(context.Background(), srv.URL, &Options{HTTPClient: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, e
+}
+
+func TestSnapshotCreateListRestore(t *testing.T) {
+	ctx := context.Background()
+	c, _ := snapshotServer(t)
+	p, err := c.Register(ctx, "snap", Spec{Query: twoPath, Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.Range(ctx, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	created, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Name == "" || created.Structures == 0 || created.Registrations != 1 {
+		t.Fatalf("snapshot response %+v", created)
+	}
+	list, err := c.Snapshots(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != created.Name || list[0].Bytes != created.Bytes {
+		t.Fatalf("list %+v, want the created snapshot", list)
+	}
+
+	// Drift the instance, then restore the checkpointed state.
+	if _, err := c.Load(ctx, "R", [][]Value{{1 << 40, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := c.Restore(ctx, created.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Version <= created.Version || restored.Registrations != 1 {
+		t.Fatalf("restore response %+v after version %d", restored, created.Version)
+	}
+	after, err := p.Range(ctx, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, before) {
+		t.Fatal("restored answers differ from the checkpointed ones")
+	}
+}
+
+func TestRestoreUnknownSnapshotIsTypedError(t *testing.T) {
+	ctx := context.Background()
+	c, _ := snapshotServer(t)
+	if _, err := c.Restore(ctx, "snapshot-00000000000000000001-v1.rka"); err == nil {
+		t.Fatal("restore of a missing snapshot succeeded")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.Status != 404 {
+		t.Fatalf("error %v, want a 404 *APIError", err)
+	}
+}
+
+func TestSnapshotAgainstDisabledServerFails(t *testing.T) {
+	ctx := context.Background()
+	c, _ := testServer(t, 64, 5)
+	if _, err := c.Snapshot(ctx); err == nil {
+		t.Fatal("snapshot succeeded against a server without a snapshot dir")
+	}
+}

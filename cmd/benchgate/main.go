@@ -13,6 +13,13 @@
 // median is under -min-ns are skipped for the time check (micro-noise)
 // but still gated on allocations. Benchmarks present on only one side
 // are reported and ignored.
+//
+// Cross-benchmark invariants within one run are gated with -ratio
+// (repeatable): "-ratio BenchmarkWarmStart/BenchmarkColdBuild<=0.1"
+// fails unless the first benchmark's median time is at most the given
+// fraction of the second's. Unlike the baseline comparison, ratios are
+// checked on every run (pushes included), since both sides come from
+// the same machine and the same invocation.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 var benchLine = regexp.MustCompile(
@@ -107,6 +115,62 @@ func summarize(samples map[string][]sample) map[string]result {
 	return out
 }
 
+// ratio is one cross-benchmark bound: Num's median must be at most
+// Factor times Denom's.
+type ratio struct {
+	Num, Denom string
+	Factor     float64
+}
+
+// parseRatio parses "BenchA/BenchB<=0.1".
+func parseRatio(s string) (ratio, error) {
+	var r ratio
+	names, factor, ok := strings.Cut(s, "<=")
+	if ok {
+		r.Num, r.Denom, ok = strings.Cut(names, "/")
+	}
+	if ok {
+		var err error
+		r.Factor, err = strconv.ParseFloat(factor, 64)
+		ok = err == nil && r.Factor > 0 && r.Num != "" && r.Denom != ""
+	}
+	if !ok {
+		return r, fmt.Errorf("benchgate: bad -ratio %q (want \"BenchA/BenchB<=0.1\")", s)
+	}
+	return r, nil
+}
+
+// checkRatios gates every ratio against one run's medians; a missing
+// benchmark fails the gate (a bound that silently stopped being checked
+// is worse than a red build).
+func checkRatios(results map[string]result, ratios []ratio) bool {
+	failed := false
+	for _, r := range ratios {
+		num, okN := results[r.Num]
+		denom, okD := results[r.Denom]
+		if !okN || !okD {
+			fmt.Printf("RATIO MISSING      %s/%s: benchmark absent from the run\n", r.Num, r.Denom)
+			failed = true
+			continue
+		}
+		got := num.NsPerOp / denom.NsPerOp
+		status := "ratio ok"
+		if got > r.Factor {
+			status = "RATIO EXCEEDED"
+			failed = true
+		}
+		fmt.Printf("%-18s %s/%s = %.3f (bound %.3f): %12.0f vs %12.0f ns/op\n",
+			status, r.Num, r.Denom, got, r.Factor, num.NsPerOp, denom.NsPerOp)
+	}
+	return failed
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
 func sortedNames(m map[string]result) []string {
 	names := make([]string, 0, len(m))
 	for n := range m {
@@ -124,8 +188,19 @@ func main() {
 		sha       = flag.String("sha", "", "commit SHA recorded in the JSON summary")
 		threshold = flag.Float64("threshold", 1.20, "fail when new median time exceeds old by this factor")
 		minNs     = flag.Float64("min-ns", 100, "skip the time check for baselines faster than this (ns)")
+		ratiosRaw multiFlag
 	)
+	flag.Var(&ratiosRaw, "ratio", "cross-benchmark bound \"BenchA/BenchB<=0.1\" checked within the new run (repeatable)")
 	flag.Parse()
+	ratios := make([]ratio, len(ratiosRaw))
+	for i, s := range ratiosRaw {
+		r, err := parseRatio(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ratios[i] = r
+	}
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
 		os.Exit(2)
@@ -157,8 +232,14 @@ func main() {
 		}
 	}
 
+	ratioFailed := checkRatios(newResults, ratios)
+
 	if *oldPath == "" {
-		fmt.Printf("benchgate: recorded %d benchmarks (no baseline, gate skipped)\n", len(newResults))
+		if ratioFailed {
+			fmt.Println("benchgate: FAIL (ratio bound exceeded)")
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: recorded %d benchmarks (no baseline, comparison gate skipped)\n", len(newResults))
 		return
 	}
 	oldSamples, err := parseFile(*oldPath)
@@ -197,8 +278,8 @@ func main() {
 			fmt.Printf("GONE  %s\n", name)
 		}
 	}
-	if failed {
-		fmt.Printf("benchgate: FAIL (time threshold %.0f%%, any alloc/op increase)\n", (*threshold-1)*100)
+	if failed || ratioFailed {
+		fmt.Printf("benchgate: FAIL (time threshold %.0f%%, any alloc/op increase, ratio bounds)\n", (*threshold-1)*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: ok (%d benchmarks compared)\n", len(newResults))

@@ -52,6 +52,41 @@ func TestParseAndSummarize(t *testing.T) {
 	}
 }
 
+func TestParseRatio(t *testing.T) {
+	r, err := parseRatio("BenchmarkWarmStart/BenchmarkColdBuild<=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Num != "BenchmarkWarmStart" || r.Denom != "BenchmarkColdBuild" || r.Factor != 0.1 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{"", "A/B", "A<=0.1", "A/B<=x", "A/B<=0", "/B<=0.1", "A/<=0.1"} {
+		if _, err := parseRatio(bad); err == nil {
+			t.Fatalf("parseRatio accepted %q", bad)
+		}
+	}
+}
+
+func TestCheckRatios(t *testing.T) {
+	results := map[string]result{
+		"BenchmarkWarmStart": {NsPerOp: 2e6},
+		"BenchmarkColdBuild": {NsPerOp: 70e6},
+	}
+	ok := ratio{Num: "BenchmarkWarmStart", Denom: "BenchmarkColdBuild", Factor: 0.1}
+	if checkRatios(results, []ratio{ok}) {
+		t.Fatal("a 35x speedup failed the 10x bound")
+	}
+	tight := ok
+	tight.Factor = 0.01
+	if !checkRatios(results, []ratio{tight}) {
+		t.Fatal("a violated bound passed")
+	}
+	missing := ratio{Num: "BenchmarkGone", Denom: "BenchmarkColdBuild", Factor: 0.1}
+	if !checkRatios(results, []ratio{missing}) {
+		t.Fatal("a missing benchmark passed the ratio gate")
+	}
+}
+
 func TestRegressionDetection(t *testing.T) {
 	oldRes := summarize(mustParse(t, write(t, "old.txt", sampleOld)))
 	newRes := summarize(mustParse(t, write(t, "new.txt", sampleNew)))

@@ -8,11 +8,21 @@
 //
 // Usage:
 //
-//	serve -addr :8080 -data /tmp/data -cache 128 -workers 0
+//	serve -addr :8080 -data /tmp/data -cache 128 -workers 0 \
+//	      -snapshot-dir /var/lib/ra -checkpoint-every 5m
 //
 // Every <data>/<Name>.tsv file (as written by cmd/gen) is loaded as
 // relation <Name>. With -workers 1 preprocessing runs serially; 0 uses
 // all cores. SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// With -snapshot-dir the server warm-starts from the newest snapshot in
+// the directory (instance, built structures, and prepared-query
+// registry restored in milliseconds, structures mapped zero-copy; -data
+// is ignored on a warm start) and exposes the /v1/snapshots endpoints.
+// -checkpoint-every additionally checkpoints in the background whenever
+// the instance changed; a final checkpoint runs during graceful
+// shutdown, after in-flight requests and any in-flight background
+// checkpoint have drained, so a clean restart loses nothing.
 //
 // Example session:
 //
@@ -22,6 +32,7 @@
 //	  "order": "x, y desc, z"
 //	}'
 //	curl -s localhost:8080/v1/queries/by_xyz/access -d '{"ks": [0, 1000]}'
+//	curl -s -X POST localhost:8080/v1/snapshots
 package main
 
 import (
@@ -35,6 +46,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,6 +55,7 @@ import (
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/par"
 	"rankedaccess/internal/serve"
+	"rankedaccess/internal/snapshot"
 )
 
 // drainTimeout bounds graceful shutdown: in-flight requests (including
@@ -55,21 +69,50 @@ func main() {
 		dataDir = flag.String("data", "", "directory of <Relation>.tsv files to preload")
 		cache   = flag.Int("cache", engine.DefaultCacheSize, "max cached access structures")
 		workers = flag.Int("workers", 0, "preprocessing worker bound (0 = all cores)")
+		snapDir = flag.String("snapshot-dir", "", "snapshot directory: warm-start from the newest snapshot and enable /v1/snapshots")
+		ckEvery = flag.Duration("checkpoint-every", 0, "background checkpoint interval (0 disables; requires -snapshot-dir)")
 	)
 	flag.Parse()
 	par.SetLimit(*workers)
+	if *ckEvery > 0 && *snapDir == "" {
+		log.Fatal("serve: -checkpoint-every requires -snapshot-dir")
+	}
 
-	in := database.NewInstance()
-	if *dataDir != "" {
-		if err := loadDir(in, *dataDir); err != nil {
+	var e *engine.Engine
+	warm := false
+	if *snapDir != "" {
+		snapshot.CleanTmp(*snapDir) // sweep temp files a crashed checkpoint stranded
+		var err error
+		e, warm, err = engine.Open(*snapDir, engine.Options{CacheSize: *cache})
+		if err != nil {
+			log.Fatalf("serve: warm start: %v", err)
+		}
+		if warm {
+			st := e.Stats()
+			log.Printf("serve: warm start from %s: %d tuples, %d structures mapped, version %d",
+				*snapDir, st.Tuples, st.WarmStructures, st.Version)
+		}
+	} else {
+		e = engine.New(database.NewInstance(), engine.Options{CacheSize: *cache})
+	}
+	switch {
+	case *dataDir != "" && warm:
+		log.Printf("serve: warm start restored the instance; ignoring -data %s", *dataDir)
+	case *dataDir != "":
+		loaded := 0
+		var err error
+		e.Mutate(func(in *database.Instance) {
+			loaded, err = loadDir(in, *dataDir)
+		})
+		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
+		log.Printf("serve: loaded %d relations from %s", loaded, *dataDir)
 	}
-	e := engine.New(in, engine.Options{CacheSize: *cache})
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.NewHandler(e),
+		Handler: serve.NewHandlerWith(e, serve.Config{SnapshotDir: *snapDir}),
 		// Bound slow-header clients (slowloris) and idle keep-alive
 		// connections; no overall write timeout, since NDJSON cursor
 		// streams are legitimately long-lived.
@@ -79,9 +122,50 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background checkpointer. lastCk tracks the last version durably on
+	// disk (the warm-start version counts), so ticks and the final
+	// shutdown checkpoint skip when nothing changed.
+	var lastCk atomic.Uint64
+	lastCk.Store(^uint64(0))
+	if warm {
+		lastCk.Store(e.Version())
+	}
+	checkpoint := func(why string) {
+		if e.Version() == lastCk.Load() {
+			return
+		}
+		info, err := e.Checkpoint(*snapDir)
+		if err != nil {
+			log.Printf("serve: %s checkpoint: %v", why, err)
+			return
+		}
+		lastCk.Store(info.Version)
+		log.Printf("serve: %s checkpoint %s: %d bytes, %d structures (version %d)",
+			why, info.Name, info.Bytes, info.Structures, info.Version)
+	}
+	ckCtx, ckStop := context.WithCancel(context.Background())
+	var ckWG sync.WaitGroup
+	if *ckEvery > 0 {
+		ckWG.Add(1)
+		go func() {
+			defer ckWG.Done()
+			t := time.NewTicker(*ckEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ckCtx.Done():
+					return
+				case <-t.C:
+					checkpoint("background")
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serve: %d tuples loaded, listening on %s", in.Size(), *addr)
+		log.Printf("serve: %d tuples loaded, listening on %s", e.Stats().Tuples, *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -99,16 +183,26 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)
 		}
+		// Requests are drained; flush durability before exiting. The
+		// ticker goroutine is stopped first and awaited, so an in-flight
+		// background checkpoint completes (its temp-file write/rename is
+		// atomic and self-cleaning) rather than being torn mid-write,
+		// and the final checkpoint below cannot race it.
+		ckStop()
+		ckWG.Wait()
+		if *snapDir != "" {
+			checkpoint("shutdown")
+		}
 		log.Printf("serve: drained, bye")
 	}
 }
 
 // loadDir loads every *.tsv file in dir as the relation named by its
-// base name.
-func loadDir(in *database.Instance, dir string) error {
+// base name, returning how many relations were loaded.
+func loadDir(in *database.Instance, dir string) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	loaded := 0
 	for _, ent := range entries {
@@ -118,17 +212,17 @@ func loadDir(in *database.Instance, dir string) error {
 		name := strings.TrimSuffix(ent.Name(), ".tsv")
 		f, err := os.Open(filepath.Join(dir, ent.Name()))
 		if err != nil {
-			return err
+			return loaded, err
 		}
 		err = in.ReadRelation(name, f)
 		f.Close()
 		if err != nil {
-			return err
+			return loaded, err
 		}
 		loaded++
 	}
 	if loaded == 0 {
-		return fmt.Errorf("no .tsv files in %s", dir)
+		return 0, fmt.Errorf("no .tsv files in %s", dir)
 	}
-	return nil
+	return loaded, nil
 }

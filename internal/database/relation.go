@@ -29,6 +29,19 @@ func NewRelation(arity int) *Relation {
 	return &Relation{arity: arity}
 }
 
+// FromFlat builds a relation over an existing flat tuple array (stride
+// arity; one sentinel value per tuple for arity 0). The slice is owned
+// by the relation from here on.
+func FromFlat(arity int, data []values.Value) (*Relation, error) {
+	if arity < 0 {
+		return nil, fmt.Errorf("database: negative arity %d", arity)
+	}
+	if arity > 0 && len(data)%arity != 0 {
+		return nil, fmt.Errorf("database: %d values do not tile arity %d", len(data), arity)
+	}
+	return &Relation{arity: arity, data: data}, nil
+}
+
 // FromRows builds a relation from row slices (all must share one length).
 func FromRows(rows [][]values.Value) *Relation {
 	if len(rows) == 0 {

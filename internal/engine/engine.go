@@ -27,6 +27,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -141,6 +142,10 @@ type Handle struct {
 	Query *cq.Query
 	// Plan records how the request was served.
 	Plan Plan
+
+	// spec is the request this handle was built from; checkpoints
+	// persist it so a warm start can re-key the structure.
+	spec Spec
 
 	lex      *access.Lex
 	sum      *access.Sum
@@ -323,6 +328,13 @@ type Stats struct {
 	// Reprepares counts automatic rebuilds of registered queries after
 	// an instance-version change.
 	Reprepares uint64
+	// Checkpoints and Restores count snapshot writes and loads over the
+	// engine's lifetime.
+	Checkpoints, Restores uint64
+	// WarmStructures is the number of access structures rehydrated from
+	// the snapshot by the most recent Open/Restore (0 for a cold
+	// engine).
+	WarmStructures uint64
 }
 
 // flight is one in-progress build, shared by concurrent requesters.
@@ -357,6 +369,12 @@ type Engine struct {
 
 	hits, misses        atomic.Uint64
 	regHits, reprepares atomic.Uint64
+
+	// Snapshot state: counters plus the open file mappings warm
+	// structures alias (released by Close, never before).
+	checkpoints, restores, warmStructures atomic.Uint64
+	smu                                   sync.Mutex
+	mappings                              []io.Closer
 }
 
 // New returns an Engine over the given instance. The Engine owns the
@@ -447,14 +465,17 @@ func (e *Engine) Stats() Stats {
 	prepared := len(e.registry)
 	e.rmu.Unlock()
 	return Stats{
-		Hits:         e.hits.Load(),
-		Misses:       e.misses.Load(),
-		Entries:      entries,
-		Version:      version,
-		Tuples:       tuples,
-		Prepared:     prepared,
-		RegistryHits: e.regHits.Load(),
-		Reprepares:   e.reprepares.Load(),
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		Entries:        entries,
+		Version:        version,
+		Tuples:         tuples,
+		Prepared:       prepared,
+		RegistryHits:   e.regHits.Load(),
+		Reprepares:     e.reprepares.Load(),
+		Checkpoints:    e.checkpoints.Load(),
+		Restores:       e.restores.Load(),
+		WarmStructures: e.warmStructures.Load(),
 	}
 }
 
@@ -591,7 +612,7 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
-	h := &Handle{Query: p.q}
+	h := &Handle{Query: p.q, spec: s}
 	var wfd classify.WithFDs // FD witness, reused by the sharded builders
 	if p.sum {
 		if len(p.fds) == 0 {

@@ -42,6 +42,15 @@ func (c *lru) add(key string, h *Handle) {
 	}
 }
 
+// handles snapshots the cached handles, most recently used first.
+func (c *lru) handles() []*Handle {
+	out := make([]*Handle, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).h)
+	}
+	return out
+}
+
 func (c *lru) purge() {
 	c.order.Init()
 	clear(c.byKey)

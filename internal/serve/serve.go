@@ -4,8 +4,10 @@
 //
 // The primary surface is the versioned prepared-query API under /v1
 // (register a spec once under a name, probe and stream it by name —
-// see v1.go). The legacy one-shot endpoints remain as thin shims over
-// the same cores:
+// see v1.go), plus the snapshot durability endpoints when a snapshot
+// directory is configured (checkpoint/list/restore — see snapshots.go).
+// The legacy one-shot endpoints remain as thin shims over the same
+// cores:
 //
 //	POST /load      {"relation": "R", "rows": [[1,2], ...]}
 //	POST /access    {"query", "order"|"sum_by", "fds", "ks": [0, 7, ...]}
@@ -77,11 +79,26 @@ func putTupleBuf(flatP *[]values.Value, flat []values.Value) {
 	}
 }
 
-// NewHandler mounts the API for one engine: the versioned /v1
-// prepared-query surface (see v1.go) and the legacy one-shot endpoints,
+// Config tunes optional server features.
+type Config struct {
+	// SnapshotDir, when non-empty, enables the durability endpoints
+	// (/v1/snapshots — checkpoint, list, restore) against that
+	// directory. Empty leaves them unmounted.
+	SnapshotDir string
+}
+
+// NewHandler mounts the API for one engine with default configuration;
+// see NewHandlerWith.
+func NewHandler(e *engine.Engine) http.Handler {
+	return NewHandlerWith(e, Config{})
+}
+
+// NewHandlerWith mounts the API for one engine: the versioned /v1
+// prepared-query surface (see v1.go), the snapshot endpoints when
+// configured (see snapshots.go), and the legacy one-shot endpoints,
 // which are thin shims over the same cores and remain supported (see
 // CONTRIBUTING.md for the deprecation policy).
-func NewHandler(e *engine.Engine) http.Handler {
+func NewHandlerWith(e *engine.Engine, cfg Config) http.Handler {
 	st := newCursorStore(defaultMaxCursors)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) { handleLoad(e, w, r) })
@@ -104,6 +121,11 @@ func NewHandler(e *engine.Engine) http.Handler {
 	mux.HandleFunc("POST /v1/queries/{name}/cursor", func(w http.ResponseWriter, r *http.Request) { handleCursorCreate(e, st, w, r) })
 	mux.HandleFunc("GET /v1/cursors/{id}/next", func(w http.ResponseWriter, r *http.Request) { handleCursorNext(st, w, r) })
 	mux.HandleFunc("DELETE /v1/cursors/{id}", func(w http.ResponseWriter, r *http.Request) { handleCursorClose(st, w, r) })
+	if dir := cfg.SnapshotDir; dir != "" {
+		mux.HandleFunc("POST /v1/snapshots", func(w http.ResponseWriter, r *http.Request) { handleSnapshotCreate(e, dir, w, r) })
+		mux.HandleFunc("GET /v1/snapshots", func(w http.ResponseWriter, r *http.Request) { handleSnapshotList(dir, w, r) })
+		mux.HandleFunc("POST /v1/snapshots/{name}/restore", func(w http.ResponseWriter, r *http.Request) { handleSnapshotRestore(e, dir, w, r) })
+	}
 	return mux
 }
 
@@ -392,6 +414,12 @@ type statsResponse struct {
 	RegistryHits uint64 `json:"registry_hits"`
 	Reprepares   uint64 `json:"reprepares"`
 	OpenCursors  int    `json:"open_cursors"`
+	// Snapshot counters: checkpoints written, restores applied, and the
+	// number of structures the most recent warm start rehydrated from a
+	// mapped snapshot instead of rebuilding.
+	Checkpoints    uint64 `json:"snapshot_checkpoints"`
+	Restores       uint64 `json:"snapshot_restores"`
+	WarmStructures uint64 `json:"warm_structures"`
 }
 
 func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *http.Request) {
@@ -401,6 +429,8 @@ func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *ht
 		Version: st.Version, Tuples: st.Tuples,
 		Prepared: st.Prepared, RegistryHits: st.RegistryHits,
 		Reprepares: st.Reprepares, OpenCursors: cs.open(),
+		Checkpoints: st.Checkpoints, Restores: st.Restores,
+		WarmStructures: st.WarmStructures,
 	})
 }
 

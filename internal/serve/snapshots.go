@@ -1,0 +1,97 @@
+// snapshots.go implements the durability endpoints, mounted when the
+// server is configured with a snapshot directory:
+//
+//	POST /v1/snapshots                create a checkpoint now
+//	GET  /v1/snapshots                list snapshots, newest first
+//	POST /v1/snapshots/{name}/restore replace live state from a snapshot
+//
+// A checkpoint persists the instance, every persistable built
+// structure, and the prepared-query registry; a restore swaps them in
+// with a strictly-forward version bump, so cursors and handles opened
+// before the restore fail the same way they do on any other mutation
+// (410 Gone) instead of silently mixing datasets.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/snapshot"
+)
+
+type snapshotCreateResponse struct {
+	Name          string `json:"name"`
+	Bytes         int64  `json:"bytes"`
+	Version       uint64 `json:"version"`
+	Structures    int    `json:"structures"`
+	Skipped       int    `json:"skipped,omitempty"`
+	Registrations int    `json:"registrations"`
+}
+
+func handleSnapshotCreate(e *engine.Engine, dir string, w http.ResponseWriter, _ *http.Request) {
+	info, err := e.Checkpoint(dir)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snapshotCreateResponse{
+		Name: info.Name, Bytes: info.Bytes, Version: info.Version,
+		Structures: info.Structures, Skipped: info.Skipped,
+		Registrations: info.Registrations,
+	})
+}
+
+type snapshotListResponse struct {
+	Snapshots []snapshot.Info `json:"snapshots"`
+}
+
+func handleSnapshotList(dir string, w http.ResponseWriter, _ *http.Request) {
+	infos, err := snapshot.List(dir)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if infos == nil {
+		infos = []snapshot.Info{}
+	}
+	reply(w, snapshotListResponse{Snapshots: infos})
+}
+
+type snapshotRestoreResponse struct {
+	Name          string `json:"name"`
+	Version       uint64 `json:"version"`
+	Tuples        int    `json:"tuples"`
+	Structures    int    `json:"structures"`
+	Registrations int    `json:"registrations"`
+}
+
+func handleSnapshotRestore(e *engine.Engine, dir string, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !snapshot.ValidName(name) {
+		fail(w, http.StatusBadRequest, fmt.Errorf("serve: %q is not a snapshot name", name))
+		return
+	}
+	path := filepath.Join(dir, name)
+	if _, err := os.Stat(path); err != nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("serve: no snapshot %q", name))
+		return
+	}
+	info, err := e.Restore(path)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, snapshot.ErrCorrupt) || errors.Is(err, snapshot.ErrBadMagic) ||
+			errors.Is(err, snapshot.ErrBadVersion) || errors.Is(err, snapshot.ErrForeignByteOrder) {
+			status = http.StatusUnprocessableEntity
+		}
+		fail(w, status, err)
+		return
+	}
+	reply(w, snapshotRestoreResponse{
+		Name: info.Name, Version: info.Version, Tuples: info.Tuples,
+		Structures: info.Structures, Registrations: info.Registrations,
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package snapshot
+
+// mapFile on platforms without a wired mmap path always asks for the
+// read fallback.
+func mapFile(path string) (data []byte, un func() error, ok bool, err error) {
+	return nil, nil, false, nil
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. ok is false when the platform or the
+// file (e.g. empty) cannot be mapped and the caller should fall back to
+// a plain read.
+func mapFile(path string) (data []byte, un func() error, ok bool, err error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, false, nil
+	}
+	data, err = syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Mapping can fail on exotic filesystems; fall back to reading.
+		return nil, nil, false, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, true, nil
+}

@@ -1,0 +1,94 @@
+package snapshot
+
+import (
+	"strconv"
+	"unsafe"
+)
+
+// hostLittle reports the host byte order. Column payloads are written
+// in native order and flagged, so same-endian readers reconstruct
+// slices zero-copy and foreign-endian readers are rejected cleanly.
+func hostLittle() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// The casts below reinterpret backing arrays without copying. They are
+// legal because both sides have the same size and the wider side's
+// alignment is guaranteed: slice backing arrays of 8-byte elements are
+// 8-aligned by the allocator, and file payloads start 8-aligned by the
+// format (page-aligned mapping or []int64-backed read buffer, plus
+// 8-multiple headers and padding).
+
+func i64Bytes(xs []int64) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*8)
+}
+
+func i32Bytes(xs []int32) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*4)
+}
+
+func f64Bytes(xs []float64) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*8)
+}
+
+func bytesI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func bytesI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func bytesF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// i64AsInt views an []int64 column as []int — zero-copy on 64-bit
+// platforms, an element-wise copy elsewhere.
+func i64AsInt(xs []int64) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	if strconv.IntSize == 64 {
+		return unsafe.Slice((*int)(unsafe.Pointer(&xs[0])), len(xs))
+	}
+	out := make([]int, len(xs))
+	for i, v := range xs {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// intAsI64 is the write-side inverse of i64AsInt.
+func intAsI64(xs []int) []int64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	if strconv.IntSize == 64 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&xs[0])), len(xs))
+	}
+	out := make([]int64, len(xs))
+	for i, v := range xs {
+		out[i] = int64(v)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package tupleidx
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rankedaccess/internal/values"
+)
+
+// This file exports the Index's flat buffers for snapshot persistence
+// and reconstructs an Index from persisted (possibly memory-mapped)
+// buffers without rehashing: the open-addressing table is part of the
+// snapshot, so a warm start points the Index at the mapped arrays and
+// is immediately probe-ready.
+
+// Table returns the open-addressing slot array (entries are id+1, 0 =
+// empty). The caller may persist it; it must not mutate it.
+func (x *Index) Table() []int32 { return x.table }
+
+// FromParts reconstructs an Index from its flat buffers: n keys of the
+// given arity stored flat in keys (stride arity, id order), and the
+// open-addressing table as returned by Table. The slices are aliased,
+// not copied, so they may point into a mapped file; the Index must then
+// be used read-only (Lookup/Key only — an Insert would write through).
+//
+// The buffers are validated structurally (shapes, bounds, occupancy and
+// load factor — the invariants that keep probes terminating and
+// in-bounds); they are trusted to be content-correct, which snapshot
+// checksums guarantee.
+func FromParts(arity, n int, keys []values.Value, table []int32) (*Index, error) {
+	if arity < 0 || n < 0 {
+		return nil, fmt.Errorf("tupleidx: negative shape (arity %d, n %d)", arity, n)
+	}
+	if arity == 0 && n > 1 {
+		return nil, fmt.Errorf("tupleidx: %d distinct nullary keys", n)
+	}
+	if len(keys) != n*arity {
+		return nil, fmt.Errorf("tupleidx: %d key values, want %d", len(keys), n*arity)
+	}
+	if len(table) < 8 || bits.OnesCount(uint(len(table))) != 1 {
+		return nil, fmt.Errorf("tupleidx: table size %d is not a power of two >= 8", len(table))
+	}
+	// The builder keeps the load factor below 3/4, which is also what
+	// guarantees probe loops hit an empty slot; reject denser tables.
+	if n*4 >= len(table)*3 {
+		return nil, fmt.Errorf("tupleidx: %d keys overfill a table of %d slots", n, len(table))
+	}
+	occupied := 0
+	for _, e := range table {
+		if e == 0 {
+			continue
+		}
+		if e < 0 || int(e) > n {
+			return nil, fmt.Errorf("tupleidx: table entry %d out of range [0, %d]", e, n)
+		}
+		occupied++
+	}
+	if occupied != n {
+		return nil, fmt.Errorf("tupleidx: table holds %d entries for %d keys", occupied, n)
+	}
+	return &Index{
+		arity: arity,
+		keys:  keys,
+		table: table,
+		mask:  uint64(len(table) - 1),
+		n:     n,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package tupleidx
+
+import (
+	"testing"
+
+	"rankedaccess/internal/values"
+)
+
+func TestFromPartsRoundTrip(t *testing.T) {
+	x := New(2, 8)
+	keys := [][]values.Value{{1, 2}, {3, 4}, {5, 6}, {1, 7}}
+	for _, k := range keys {
+		x.Insert(k)
+	}
+	y, err := FromParts(x.Arity(), x.Len(), x.FlatKeys(), x.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, k := range keys {
+		got, ok := y.Lookup(k)
+		if !ok || got != want {
+			t.Fatalf("lookup %v = %d, %v; want %d", k, got, ok, want)
+		}
+	}
+	if _, ok := y.Lookup([]values.Value{9, 9}); ok {
+		t.Fatal("reconstructed index invented a key")
+	}
+}
+
+func TestFromPartsRejectsBadShapes(t *testing.T) {
+	x := New(1, 4)
+	x.Insert([]values.Value{7})
+	x.Insert([]values.Value{8})
+	keys, table := x.FlatKeys(), x.Table()
+	cases := []struct {
+		name  string
+		arity int
+		n     int
+		keys  []values.Value
+		table []int32
+	}{
+		{"negative arity", -1, 2, keys, table},
+		{"key count mismatch", 1, 3, keys, table},
+		{"nullary with two keys", 0, 2, nil, table},
+		{"non power-of-two table", 1, 2, keys, table[:7]},
+		{"overfull table", 1, 6, []values.Value{1, 2, 3, 4, 5, 6}, []int32{1, 2, 3, 4, 5, 6, 0, 0}},
+		{"entry out of range", 1, 2, keys, []int32{1, 9, 0, 0, 0, 0, 0, 0}},
+		{"occupancy mismatch", 1, 2, keys, []int32{1, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromParts(tc.arity, tc.n, tc.keys, tc.table); err == nil {
+				t.Fatal("bad parts accepted")
+			}
+		})
+	}
+}

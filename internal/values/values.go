@@ -61,6 +61,23 @@ func (d *Dict) Name(v Value) string {
 // Len returns the number of interned values.
 func (d *Dict) Len() int { return len(d.toName) }
 
+// Names returns a copy of the interned names in code order, for
+// persistence.
+func (d *Dict) Names() []string {
+	return append([]string(nil), d.toName...)
+}
+
+// DictFromNames rebuilds a dictionary whose codes follow the given name
+// order exactly (the inverse of Names). Duplicate names keep their
+// first code, matching Intern semantics.
+func DictFromNames(names []string) *Dict {
+	d := NewDict()
+	for _, n := range names {
+		d.Intern(n)
+	}
+	return d
+}
+
 // SortedDict builds a dictionary from names such that code order equals
 // the sorted order of the names. Duplicate names are interned once.
 func SortedDict(names []string) *Dict {

@@ -365,6 +365,23 @@ type Cursor = engine.Cursor
 // Engine.AddRows so cached structures are invalidated.
 func NewEngine(in *Instance, opts EngineOptions) *Engine { return engine.New(in, opts) }
 
+// CheckpointInfo reports what Engine.Checkpoint persisted.
+type CheckpointInfo = engine.CheckpointInfo
+
+// RestoreInfo reports what OpenEngine or Engine.Restore loaded.
+type RestoreInfo = engine.RestoreInfo
+
+// OpenEngine warm-starts an Engine from the newest snapshot in dir (as
+// written by Engine.Checkpoint): the instance, every persisted access
+// structure (reconstructed zero-copy over the mapped file), and the
+// prepared-query registry are restored without re-running
+// preprocessing. warm is false when dir holds no snapshot and the
+// engine is simply fresh. Call Engine.Close when the engine and all
+// handles obtained from it are done, to release the file mappings.
+func OpenEngine(dir string, opts EngineOptions) (e *Engine, warm bool, err error) {
+	return engine.Open(dir, opts)
+}
+
 // AnswerTuple projects an answer onto the query head, in head order.
 func AnswerTuple(q *Query, a Answer) []Value {
 	return AppendAnswerTuple(q, make([]Value, 0, len(q.Head)), a)
