@@ -201,6 +201,15 @@ type Stats struct {
 	RegistryHits uint64 `json:"registry_hits"`
 	Reprepares   uint64 `json:"reprepares"`
 	OpenCursors  int    `json:"open_cursors"`
+	// Write-path counters: mutation batches applied, and how stale
+	// structures caught up — republished unchanged, advanced by delta
+	// overlay, or forced to rebuild — plus background re-preprocesses
+	// that swapped in.
+	WALBatches    uint64 `json:"wal_batches"`
+	DeltaSkips    uint64 `json:"delta_skips"`
+	DeltaEpochs   uint64 `json:"delta_epochs"`
+	DeltaRebuilds uint64 `json:"delta_rebuilds"`
+	BGRebuilds    uint64 `json:"bg_rebuilds"`
 }
 
 // Stats fetches the server's counters.
@@ -222,6 +231,37 @@ func (c *Client) Load(ctx context.Context, relation string, rows [][]Value) (int
 	}
 	_, err := c.do(ctx, http.MethodPost, "/load", in, &out, "")
 	return out.Loaded, err
+}
+
+// Write is one relation's rows in a batch mutation: rows to insert and
+// rows to delete. Deletes of absent rows are idempotent no-ops.
+type Write struct {
+	Relation string    `json:"relation"`
+	Insert   [][]Value `json:"insert,omitempty"`
+	Delete   [][]Value `json:"delete,omitempty"`
+}
+
+// WriteResult reports the outcome of one batch mutation.
+type WriteResult struct {
+	// Version is the engine version the batch published.
+	Version uint64 `json:"version"`
+	// Inserted and Deleted count rows requested in the batch.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+}
+
+// Write applies a batch of relational mutations atomically via POST
+// /v1/write: the whole group is durably logged and published as one
+// new version. Prepared queries over untouched relations keep serving
+// without rebuilding; queries over written relations absorb the batch
+// as a delta overlay when possible.
+func (c *Client) Write(ctx context.Context, writes ...Write) (WriteResult, error) {
+	in := struct {
+		Writes []Write `json:"writes"`
+	}{writes}
+	var out WriteResult
+	_, err := c.do(ctx, http.MethodPost, "/v1/write", in, &out, "")
+	return out, err
 }
 
 // QueryInfo describes one server-side registration.

@@ -1,0 +1,56 @@
+package client
+
+import (
+	"context"
+	"testing"
+)
+
+func TestWriteBatchRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c, e := testServer(t, 128, 11)
+	p, err := c.Register(ctx, "w", Spec{Query: twoPath, Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := p.Info.Total
+
+	res, err := c.Write(ctx,
+		Write{Relation: "R", Insert: [][]Value{{80001, 70009}}},
+		Write{Relation: "S", Insert: [][]Value{{70009, 1}, {70009, 2}, {70009, 3}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != e.Version() || res.Inserted != 4 || res.Deleted != 0 {
+		t.Fatalf("write result = %+v (engine version %d)", res, e.Version())
+	}
+
+	// The new R row joins the three new S rows.
+	n, err := p.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total+3 {
+		t.Fatalf("count after write = %d, want %d", n, total+3)
+	}
+
+	// Deleting the joined R row removes those answers again.
+	res, err = c.Write(ctx, Write{Relation: "R", Delete: [][]Value{{80001, 70009}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 {
+		t.Fatalf("delete result = %+v", res)
+	}
+	if n, err := p.Count(ctx); err != nil || n != total {
+		t.Fatalf("count after delete = (%d, %v), want %d", n, err, total)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALBatches != 2 || st.DeltaEpochs < 1 {
+		t.Fatalf("stats = %+v, want 2 WAL batches and a delta epoch", st)
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 		shards     = flag.String("shards", "", "benchmark sharded execution at these shard counts (e.g. 1,2,4,8) instead of the experiments")
+		mixed      = flag.Bool("mixed", false, "benchmark read latency under concurrent writes (MVCC write path) instead of the experiments")
 	)
 	flag.Parse()
 
@@ -72,6 +73,13 @@ func main() {
 
 	if *shards != "" {
 		if err := runShardBench(os.Stdout, *shards, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mixed {
+		if err := runMixedBench(os.Stdout, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}

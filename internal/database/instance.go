@@ -73,6 +73,17 @@ func (in *Instance) AddRow(name string, row ...values.Value) {
 	r.Append(row...)
 }
 
+// DeleteRow removes every occurrence of the row from the named
+// relation, returning the number removed (0 when the relation does not
+// exist or the arity disagrees).
+func (in *Instance) DeleteRow(name string, row ...values.Value) int {
+	r := in.rels[name]
+	if r == nil || r.Arity() != len(row) {
+		return 0
+	}
+	return r.RemoveAll(row)
+}
+
 // AddNamedRow appends a row of string constants, interning them in the
 // instance dictionary (created on first use). Note that Intern assigns
 // codes in first-seen order; callers that need the domain order to match

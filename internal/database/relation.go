@@ -77,6 +77,42 @@ func (r *Relation) Append(tuple ...values.Value) {
 	r.data = append(r.data, tuple...)
 }
 
+// RemoveAll deletes every occurrence of tuple from the bag, returning
+// the number removed. Tuple order is not preserved (relations are bags;
+// every consumer sorts or indexes independently): survivors are swapped
+// into the holes, so the scan is O(n) regardless of match count.
+func (r *Relation) RemoveAll(tuple []values.Value) int {
+	if len(tuple) != r.arity {
+		panic(fmt.Sprintf("database: remove arity %d from relation of arity %d", len(tuple), r.arity))
+	}
+	if r.arity == 0 {
+		n := len(r.data)
+		r.data = r.data[:0]
+		return n
+	}
+	removed := 0
+	n := r.Len()
+	for i := 0; i < n; {
+		match := true
+		for j, v := range tuple {
+			if r.data[i*r.arity+j] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			i++
+			continue
+		}
+		last := n - 1
+		copy(r.data[i*r.arity:(i+1)*r.arity], r.data[last*r.arity:(last+1)*r.arity])
+		r.data = r.data[:last*r.arity]
+		n = last
+		removed++
+	}
+	return removed
+}
+
 // Tuple returns a read-only view of tuple i (do not mutate or retain
 // across appends).
 func (r *Relation) Tuple(i int) []values.Value {

@@ -1,0 +1,272 @@
+package delta
+
+import (
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/tupleidx"
+	"rankedaccess/internal/values"
+)
+
+// This file computes the answer-level difference a catch-up span of
+// batches induces on one query: which answers of Q appeared and which
+// disappeared between a structure's build version and the current
+// instance. The key observation is that any answer in the symmetric
+// difference has a witness (a satisfying assignment) that uses at least
+// one changed tuple — an appeared answer has a witness through an
+// inserted tuple against the current instance, a disappeared answer had
+// one through a deleted tuple against the old instance, and the old
+// instance is exactly the current one with the deleted rows put back
+// (inserted rows are a subset of the current relations already). So the
+// candidate set is enumerable without reconstructing the old instance:
+// join each atom restricted to its changed rows against the other atoms
+// over the union instance (current relations plus deleted rows,
+// iterated as two segments without copying anything).
+
+// Span summarizes a catch-up span for one query: Changed[rel] holds
+// every row inserted or deleted in the span (candidate witnesses must
+// use at least one), Deleted[rel] holds the deleted rows (the part of
+// the union instance the current relations lack).
+type Span struct {
+	Changed map[string]*database.Relation
+	Deleted map[string]*database.Relation
+}
+
+// CollectSpan folds the batches' mutations of the given relations into
+// a Span. ok is false when the span contains an opaque reset of one of
+// the relations: the row-level delta is then unknown and the caller
+// must rebuild.
+func CollectSpan(batches []Batch, rels map[string]bool) (Span, bool) {
+	sp := Span{
+		Changed: make(map[string]*database.Relation),
+		Deleted: make(map[string]*database.Relation),
+	}
+	add := func(m map[string]*database.Relation, name string, arity int, rows []values.Value) {
+		r := m[name]
+		if r == nil {
+			r = database.NewRelation(arity)
+			m[name] = r
+		}
+		if r.Arity() != arity {
+			return // arity drift is impossible for validated batches
+		}
+		for i := 0; i+arity <= len(rows); i += arity {
+			r.Append(rows[i : i+arity]...)
+		}
+	}
+	for bi := range batches {
+		for mi := range batches[bi].Muts {
+			m := &batches[bi].Muts[mi]
+			if !rels[m.Rel] {
+				continue
+			}
+			switch m.Op {
+			case OpReset:
+				return Span{}, false
+			case OpInsert:
+				add(sp.Changed, m.Rel, m.Arity, m.Rows)
+			case OpDelete:
+				add(sp.Changed, m.Rel, m.Arity, m.Rows)
+				add(sp.Deleted, m.Rel, m.Arity, m.Rows)
+			}
+		}
+	}
+	return sp, true
+}
+
+// Size returns the number of changed rows in the span — the engine's
+// cheap a-priori bound on the catch-up work.
+func (sp *Span) Size() int {
+	n := 0
+	for _, r := range sp.Changed {
+		if r != nil {
+			n += r.Len()
+		}
+	}
+	return n
+}
+
+// Diff computes the answer-level edit of q induced by the span: adds
+// are answers of Q over the current instance that the structure's epoch
+// (as reported by member) lacks, dels are epoch answers no longer
+// supported by the current instance. member must answer membership in
+// the epoch's merged answer set; answers carry only head variables
+// (existential positions zero), matching the engine's set semantics.
+func Diff(q *cq.Query, cur *database.Instance, sp Span, member func(order.Answer) bool) (adds, dels []order.Answer) {
+	if len(q.Head) == 0 || len(q.Atoms) == 0 {
+		return nil, nil
+	}
+	headCols := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		headCols[i] = int(v)
+	}
+	cands := tupleidx.New(len(q.Head), 16)
+	ctx := &evalCtx{
+		q:     q,
+		asg:   make(order.Answer, q.NumVars()),
+		bound: make([]bool, q.NumVars()),
+		segs:  make([][]*database.Relation, len(q.Atoms)),
+		undo:  make([][]cq.VarID, len(q.Atoms)),
+	}
+	for i := range q.Atoms {
+		ch := sp.Changed[q.Atoms[i].Rel]
+		if ch == nil || ch.Len() == 0 {
+			continue
+		}
+		for j := range q.Atoms {
+			rel := q.Atoms[j].Rel
+			if j == i {
+				ctx.segs[j] = []*database.Relation{ch}
+			} else {
+				ctx.segs[j] = []*database.Relation{cur.Relation(rel), sp.Deleted[rel]}
+			}
+		}
+		ctx.order = atomOrder(q, i, nil)
+		ctx.run(0, func() bool {
+			cands.InsertCols(ctx.asg, headCols)
+			return true
+		})
+	}
+	for id := 0; id < cands.Len(); id++ {
+		key := cands.Key(id)
+		a := make(order.Answer, q.NumVars())
+		for i, v := range q.Head {
+			a[v] = key[i]
+		}
+		has := HasAnswer(q, cur, a)
+		switch m := member(a); {
+		case has && !m:
+			adds = append(adds, a)
+		case !has && m:
+			dels = append(dels, a)
+		}
+	}
+	return adds, dels
+}
+
+// HasAnswer reports whether the head projection carried by a (every
+// head variable assigned, others ignored) is an answer of q over in: a
+// satisfiability probe with the head bound, stopping at the first
+// witness.
+func HasAnswer(q *cq.Query, in *database.Instance, a order.Answer) bool {
+	ctx := &evalCtx{
+		q:     q,
+		asg:   make(order.Answer, q.NumVars()),
+		bound: make([]bool, q.NumVars()),
+		segs:  make([][]*database.Relation, len(q.Atoms)),
+		undo:  make([][]cq.VarID, len(q.Atoms)),
+	}
+	for _, v := range q.Head {
+		ctx.asg[v] = a[v]
+		ctx.bound[v] = true
+	}
+	for j := range q.Atoms {
+		ctx.segs[j] = []*database.Relation{in.Relation(q.Atoms[j].Rel)}
+	}
+	ctx.order = atomOrder(q, -1, q.Head)
+	found := false
+	ctx.run(0, func() bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// evalCtx is one backtracking join's state: a partial assignment over
+// the query's variables plus per-atom row segments to scan.
+type evalCtx struct {
+	q     *cq.Query
+	asg   order.Answer
+	bound []bool
+	segs  [][]*database.Relation
+	order []int
+	undo  [][]cq.VarID // per-depth scratch of variables bound at that depth
+}
+
+// run enumerates all assignments extending the current one through the
+// atoms of c.order[depth:], calling yield at each complete one; yield
+// returns false to stop. run reports whether enumeration ran to the end.
+func (c *evalCtx) run(depth int, yield func() bool) bool {
+	if depth == len(c.order) {
+		return yield()
+	}
+	ai := c.order[depth]
+	vars := c.q.Atoms[ai].Vars
+	for _, r := range c.segs[ai] {
+		if r == nil || r.Arity() != len(vars) {
+			continue
+		}
+		n := r.Len()
+	rows:
+		for t := 0; t < n; t++ {
+			row := r.Tuple(t)
+			undo := c.undo[depth][:0]
+			for k, v := range vars {
+				if c.bound[v] {
+					if c.asg[v] != row[k] {
+						for _, u := range undo {
+							c.bound[u] = false
+						}
+						continue rows
+					}
+					continue
+				}
+				c.asg[v] = row[k]
+				c.bound[v] = true
+				undo = append(undo, v)
+			}
+			c.undo[depth] = undo
+			ok := c.run(depth+1, yield)
+			for _, u := range undo {
+				c.bound[u] = false
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// atomOrder picks an evaluation order: first (when ≥ 0) leads, then
+// atoms are added greedily by how many of their variables are already
+// bound (pre is the set of variables bound before evaluation starts),
+// so the scan narrows as early as possible.
+func atomOrder(q *cq.Query, first int, pre []cq.VarID) []int {
+	n := len(q.Atoms)
+	out := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[cq.VarID]bool, q.NumVars())
+	for _, v := range pre {
+		bound[v] = true
+	}
+	take := func(i int) {
+		out = append(out, i)
+		used[i] = true
+		for _, v := range q.Atoms[i].Vars {
+			bound[v] = true
+		}
+	}
+	if first >= 0 {
+		take(first)
+	}
+	for len(out) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, v := range q.Atoms[i].Vars {
+				if bound[v] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		take(best)
+	}
+	return out
+}

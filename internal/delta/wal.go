@@ -1,0 +1,253 @@
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"rankedaccess/internal/values"
+)
+
+// On-disk format (version RAWAL001, little-endian throughout):
+//
+//	header   8 bytes  magic "RAWAL001"
+//	frame*   u32 payload length | u32 CRC-32C of payload | payload
+//
+// One frame holds one Batch:
+//
+//	u64 seq
+//	u32 mutation count
+//	per mutation: u8 op | u32 rel length | rel bytes |
+//	              u32 arity | u32 value count | value count × i64
+//
+// A frame whose length field, CRC, or payload structure is broken ends
+// replay: everything before it is the replayed state, everything from
+// its offset on is a torn tail from an interrupted append and is
+// truncated away before the next write. Bumping the format means
+// bumping the magic (RAWAL002, ...), mirroring the snapshot policy:
+// readers reject unknown magics instead of misparsing, and a version
+// bump is required for any change to the frame or payload layout.
+
+// walMagic identifies the current WAL format version.
+const walMagic = "RAWAL001"
+
+// MaxFrame bounds one frame's payload; larger length fields are treated
+// as corruption (a torn or garbage tail), not an allocation request.
+const MaxFrame = 1 << 28
+
+// ErrWALMagic reports a WAL file whose header is not a known version.
+var ErrWALMagic = errors.New("delta: not a WAL file (bad magic)")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL is the durable write-ahead log: an append-only file of CRC-framed
+// batches. Appends are serialized by the engine's write lock; the WAL
+// itself is not goroutine-safe.
+type WAL struct {
+	f    *os.File
+	buf  []byte
+	last uint64 // highest appended/replayed seq
+}
+
+// OpenWAL opens (creating if absent) the WAL at path, replays every
+// intact frame, truncates a torn tail, and returns the replayed batches
+// oldest first. The returned WAL is positioned for appending.
+func OpenWAL(path string) (*WAL, []Batch, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f}
+	batches, end, err := w.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop a torn tail so the next frame starts cleanly after the last
+	// good one.
+	if st, err := f.Stat(); err == nil && st.Size() > end {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, batches, nil
+}
+
+// replay reads the header (writing it into an empty file) and every
+// intact frame, returning the batches and the offset of the first
+// byte past the last good frame.
+func (w *WAL) replay() ([]Batch, int64, error) {
+	st, err := w.f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	if st.Size() == 0 {
+		if _, err := w.f.Write([]byte(walMagic)); err != nil {
+			return nil, 0, err
+		}
+		if err := w.f.Sync(); err != nil {
+			return nil, 0, err
+		}
+		return nil, int64(len(walMagic)), nil
+	}
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(w.f, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrWALMagic, err)
+	}
+	if string(magic[:]) != walMagic {
+		return nil, 0, ErrWALMagic
+	}
+	var batches []Batch
+	off := int64(len(walMagic))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(w.f, hdr[:]); err != nil {
+			break // clean EOF or torn length/CRC header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxFrame {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(w.f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			break
+		}
+		b, ok := decodeBatch(payload)
+		if !ok {
+			break
+		}
+		if b.Seq <= w.last && w.last != 0 {
+			break // seq regression: garbage past the real tail
+		}
+		batches = append(batches, b)
+		w.last = b.Seq
+		off += 8 + int64(length)
+	}
+	return batches, off, nil
+}
+
+// Append encodes and writes one batch, then syncs, so an acknowledged
+// write survives a crash. Seq must exceed every previously appended
+// sequence.
+func (w *WAL) Append(b Batch) error {
+	if b.Seq <= w.last && w.last != 0 {
+		return fmt.Errorf("delta: WAL append seq %d after %d", b.Seq, w.last)
+	}
+	payload := encodeBatch(w.buf[:0], b)
+	w.buf = payload[:0]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.last = b.Seq
+	return nil
+}
+
+// TruncateAll drops every frame (the checkpoint that just persisted
+// them holds the write path locked out, so no frame can be newer than
+// the snapshot). The header stays; appends continue after it.
+func (w *WAL) TruncateAll() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// encodeBatch appends the frame payload for b to dst.
+func encodeBatch(dst []byte, b Batch) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Muts)))
+	for i := range b.Muts {
+		m := &b.Muts[i]
+		dst = append(dst, byte(m.Op))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Rel)))
+		dst = append(dst, m.Rel...)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Arity))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Rows)))
+		for _, v := range m.Rows {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	}
+	return dst
+}
+
+// decodeBatch parses one frame payload; ok is false for any structural
+// mismatch (the frame is then treated as torn). It never panics on
+// arbitrary input.
+func decodeBatch(p []byte) (Batch, bool) {
+	var b Batch
+	if len(p) < 12 {
+		return b, false
+	}
+	b.Seq = binary.LittleEndian.Uint64(p[0:8])
+	n := binary.LittleEndian.Uint32(p[8:12])
+	p = p[12:]
+	if uint64(n) > uint64(len(p)) { // each mutation needs ≥ 13 bytes; cheap sanity bound
+		return b, false
+	}
+	b.Muts = make([]Mutation, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 5 {
+			return b, false
+		}
+		var m Mutation
+		m.Op = Op(p[0])
+		relLen := binary.LittleEndian.Uint32(p[1:5])
+		p = p[5:]
+		if uint64(relLen) > uint64(len(p)) {
+			return b, false
+		}
+		m.Rel = string(p[:relLen])
+		p = p[relLen:]
+		if len(p) < 8 {
+			return b, false
+		}
+		m.Arity = int(int32(binary.LittleEndian.Uint32(p[0:4])))
+		nvals := binary.LittleEndian.Uint32(p[4:8])
+		p = p[8:]
+		if uint64(nvals)*8 > uint64(len(p)) {
+			return b, false
+		}
+		if nvals > 0 {
+			m.Rows = make([]values.Value, nvals)
+			for j := range m.Rows {
+				m.Rows[j] = values.Value(binary.LittleEndian.Uint64(p[j*8 : j*8+8]))
+			}
+		}
+		p = p[nvals*8:]
+		if m.Validate() != nil {
+			return b, false
+		}
+		b.Muts = append(b.Muts, m)
+	}
+	if len(p) != 0 {
+		return b, false
+	}
+	return b, true
+}

@@ -1,0 +1,239 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rankedaccess/internal/values"
+)
+
+func testBatches() []Batch {
+	return []Batch{
+		{Seq: 1, Muts: []Mutation{
+			{Op: OpInsert, Rel: "R", Arity: 2, Rows: []values.Value{1, 2, 3, 4}},
+		}},
+		{Seq: 2, Muts: []Mutation{
+			{Op: OpDelete, Rel: "S", Arity: 3, Rows: []values.Value{5, 6, 7}},
+			{Op: OpReset, Rel: "T", Arity: 1},
+		}},
+		{Seq: 5, Muts: []Mutation{
+			{Op: OpInsert, Rel: "U", Arity: 1, Rows: []values.Value{-9}},
+		}},
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh WAL replayed %d batches", len(replayed))
+	}
+	want := testBatches()
+	for _, b := range want {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", replayed, want)
+	}
+	// Appends after reopen must continue the sequence.
+	if err := w2.Append(Batch{Seq: 6, Muts: []Mutation{{Op: OpReset, Rel: "R"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(Batch{Seq: 6}); err == nil {
+		t.Fatal("non-monotonic seq accepted")
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testBatches()
+	for _, b := range want {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	// Tear the last frame: chop a few bytes off the end.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !reflect.DeepEqual(replayed, want[:2]) {
+		t.Fatalf("torn-tail replay: got %d batches, want 2", len(replayed))
+	}
+	// The torn frame must have been truncated away so new appends work.
+	if err := w2.Append(Batch{Seq: 9, Muts: []Mutation{{Op: OpReset, Rel: "R"}}}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, replayed, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 3 || replayed[2].Seq != 9 {
+		t.Fatalf("post-repair replay: %+v", replayed)
+	}
+}
+
+func TestWALCorruptPayloadStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testBatches()
+	for _, b := range want {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte near the end: CRC of the final frame fails, replay
+	// keeps the prefix.
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if !reflect.DeepEqual(replayed, want[:2]) {
+		t.Fatalf("corrupt-tail replay: got %d batches, want 2", len(replayed))
+	}
+}
+
+func TestWALTruncateAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches() {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.TruncateAll(); err != nil {
+		t.Fatal(err)
+	}
+	// last persists across truncation so the seq stays monotonic.
+	if err := w.Append(Batch{Seq: 3}); err == nil {
+		t.Fatal("seq regressed after TruncateAll")
+	}
+	if err := w.Append(Batch{Seq: 6, Muts: []Mutation{{Op: OpReset, Rel: "R"}}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 1 || replayed[0].Seq != 6 {
+		t.Fatalf("replay after truncate: %+v", replayed)
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTAWAL0junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes after a valid magic header into
+// the replay path: it must never panic, and whatever prefix it accepts
+// must survive a rewrite/reopen round trip unchanged (replayed state ==
+// live state).
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	var buf bytes.Buffer
+	for _, b := range testBatches() {
+		pay := encodeBatch(nil, b)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(pay)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(pay, crcTable))
+		buf.Write(hdr[:])
+		buf.Write(pay)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()-5])
+	f.Add([]byte{0, 0, 0, 4, 0, 0, 0, 0, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(path, append([]byte(walMagic), body...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, replayed, err := OpenWAL(path)
+		if err != nil {
+			return // structurally rejected is fine; panics are not
+		}
+		w.Close()
+		// Re-write the accepted batches into a fresh WAL; replaying that
+		// must reproduce them exactly.
+		path2 := filepath.Join(dir, "wal2.log")
+		w2, _, err := OpenWAL(path2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range replayed {
+			if err := w2.Append(b); err != nil {
+				// Replay enforces the same seq ordering Append does, so a
+				// replayed batch must always re-append cleanly.
+				t.Fatalf("re-append of replayed batch failed: %v", err)
+			}
+		}
+		w2.Close()
+		_, replayed2, err := OpenWAL(path2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(replayed) != len(replayed2) {
+			t.Fatalf("round trip lost batches: %d != %d", len(replayed), len(replayed2))
+		}
+		for i := range replayed {
+			if !reflect.DeepEqual(replayed[i], replayed2[i]) {
+				t.Fatalf("batch %d changed across round trip", i)
+			}
+		}
+	})
+}

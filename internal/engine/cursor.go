@@ -11,10 +11,12 @@ import (
 	"rankedaccess/internal/values"
 )
 
-// ErrCursorInvalidated reports that the instance mutated under a cursor
-// bound to a registered query: its positions no longer denote stable
-// global ranks, so continuing the scan would silently mix snapshots.
-// Open a fresh cursor to scan the new version.
+// ErrCursorInvalidated is retained for API compatibility with the
+// pre-MVCC engine, whose prepared-query cursors failed once the
+// instance mutated under them. Cursors no longer invalidate: every
+// cursor is pinned to the immutable epoch of the handle it was opened
+// on and streams its full result set regardless of concurrent writes.
+// No current code path returns this error.
 var ErrCursorInvalidated = errors.New("engine: cursor invalidated by instance mutation")
 
 // cursorChunk is the batch width All uses for its internal AccessRange
@@ -29,12 +31,11 @@ const cursorChunk = 256
 //
 // A Cursor is NOT safe for concurrent use — it is one scan's state;
 // open one cursor per goroutine (the underlying Handle is shared and
-// concurrency-safe). Cursors obtained from a PreparedQuery are
-// invalidated by instance mutation: their methods return
-// ErrCursorInvalidated once Engine.Mutate/AddRows bumped the version,
-// instead of paging through a mix of old and new snapshots. Cursors
-// opened directly on a Handle scan that handle's immutable snapshot
-// and never invalidate.
+// concurrency-safe). A cursor scans the immutable epoch of the handle
+// it was opened on: concurrent writes publish new epochs but never
+// invalidate an in-progress scan, so a cursor opened before a write (or
+// a background structure swap) streams its full pre-write result set
+// unchanged.
 type Cursor struct {
 	h   *Handle
 	pos int64
@@ -46,41 +47,29 @@ type Cursor struct {
 	// under the race detector), a buffer owned by this single-consumer
 	// cursor cannot.
 	buf *access.LexBuf
-
-	// Version pinning: when e is non-nil the cursor is valid only while
-	// e.versionNow() == version.
-	e       *Engine
-	version uint64
 }
 
-// Cursor opens a cursor over the handle's immutable snapshot, starting
-// at position 0. It never invalidates.
+// Cursor opens a cursor over the handle's immutable epoch, starting at
+// position 0.
 func (h *Handle) Cursor() *Cursor { return &Cursor{h: h} }
 
 // Cursor opens a cursor over the registered query's current handle,
-// starting at position 0. The cursor is pinned to the instance version
-// its handle was built for: after a mutation its methods fail with
-// ErrCursorInvalidated.
+// starting at position 0. The cursor drains that handle's epoch: it
+// keeps streaming the same consistent result set even if mutations
+// publish newer epochs mid-scan. Open a fresh cursor to scan the new
+// data.
 func (pq *PreparedQuery) Cursor() (*Cursor, error) {
-	h, version, err := pq.acquireVersioned()
+	h, err := pq.Acquire()
 	if err != nil {
 		return nil, err
 	}
-	return &Cursor{h: h, e: pq.e, version: version}, nil
-}
-
-// check fails when the cursor's pinned instance version is stale.
-func (c *Cursor) check() error {
-	if c.e != nil && c.e.versionNow() != c.version {
-		return ErrCursorInvalidated
-	}
-	return nil
+	return &Cursor{h: h}, nil
 }
 
 // Handle returns the handle the cursor scans.
 func (c *Cursor) Handle() *Handle { return c.h }
 
-// Total returns |Q(I)| of the scanned snapshot.
+// Total returns |Q(I)| of the scanned epoch.
 func (c *Cursor) Total() int64 { return c.h.Total() }
 
 // Width returns the number of head columns per emitted tuple.
@@ -98,9 +87,6 @@ func (c *Cursor) Pos() int64 { return c.pos }
 // exhaustion); seeking outside [0, Total()] fails with
 // access.ErrOutOfBound and leaves the position unchanged.
 func (c *Cursor) Seek(offset int64, whence int) (int64, error) {
-	if err := c.check(); err != nil {
-		return c.pos, err
-	}
 	k := offset
 	switch whence {
 	case io.SeekStart:
@@ -123,14 +109,14 @@ func (c *Cursor) Seek(offset int64, whence int) (int64, error) {
 // list it returns (dst, false, nil). Steady-state calls with a reused
 // dst perform zero allocations on the layered structure.
 func (c *Cursor) Next(dst []values.Value) ([]values.Value, bool, error) {
-	if err := c.check(); err != nil {
-		return dst, false, err
-	}
 	if c.pos >= c.h.Total() {
 		return dst, false, nil
 	}
 	var err error
-	if lex := c.h.lex; lex != nil {
+	// The direct layered fast path applies only without an overlay: a
+	// merged epoch routes every probe through the overlay's two binary
+	// searches.
+	if lex := c.h.lex; lex != nil && c.h.ov == nil {
 		if c.buf == nil {
 			c.buf = lex.NewBuf()
 		}
@@ -155,9 +141,6 @@ func (c *Cursor) Next(dst []values.Value) ([]values.Value, bool, error) {
 // returns the extended slice and the number of tuples emitted — fewer
 // than n only at the end of the answer list.
 func (c *Cursor) NextN(dst []values.Value, n int) ([]values.Value, int, error) {
-	if err := c.check(); err != nil {
-		return dst, 0, err
-	}
 	if n <= 0 {
 		return dst, 0, nil
 	}
@@ -196,10 +179,6 @@ func (c *Cursor) All(k0, k1 int64) iter.Seq2[[]values.Value, error] {
 		width := c.h.Width()
 		var buf []values.Value
 		for k := k0; k < k1; {
-			if err := c.check(); err != nil {
-				yield(nil, err)
-				return
-			}
 			end := k + cursorChunk
 			if end > k1 {
 				end = k1

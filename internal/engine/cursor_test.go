@@ -203,63 +203,77 @@ func TestConcurrentCursors(t *testing.T) {
 	}
 }
 
-func TestCursorInvalidatedByMutation(t *testing.T) {
+func TestCursorDrainsEpochAcrossMutation(t *testing.T) {
 	e := New(smallInstance(), Options{})
 	pq, err := e.Register("mut", Spec{Query: twoPath, Order: "x, y, z"})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Reference stream of the pre-mutation epoch.
+	ref, err := pq.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectAll(t, ref, 3)
+
 	cur, err := pq.Cursor()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := cur.Next(nil); !ok || err != nil {
+	out, ok, err := cur.Next(nil)
+	if !ok || err != nil {
 		t.Fatalf("fresh cursor Next = (%v, %v)", ok, err)
 	}
 
+	// Mutations that join into new answers land mid-scan; the cursor is
+	// pinned to its epoch and must stream the pre-mutation result set to
+	// the end regardless.
 	if err := e.AddRows("R", [][]values.Value{{9, 9}}); err != nil {
 		t.Fatal(err)
 	}
-
-	if _, _, err := cur.Next(nil); !errors.Is(err, ErrCursorInvalidated) {
-		t.Fatalf("Next after mutation = %v, want ErrCursorInvalidated", err)
-	}
-	if _, _, err := cur.NextN(nil, 4); !errors.Is(err, ErrCursorInvalidated) {
-		t.Fatalf("NextN after mutation = %v, want ErrCursorInvalidated", err)
-	}
-	if _, err := cur.Seek(0, io.SeekStart); !errors.Is(err, ErrCursorInvalidated) {
-		t.Fatalf("Seek after mutation = %v, want ErrCursorInvalidated", err)
-	}
-	var allErr error
-	for _, err := range cur.All(0, 2) {
-		allErr = err
-		break
-	}
-	if !errors.Is(allErr, ErrCursorInvalidated) {
-		t.Fatalf("All after mutation = %v, want ErrCursorInvalidated", allErr)
-	}
-
-	// A handle-pinned cursor keeps scanning its immutable snapshot.
-	h, err := pq.Acquire() // re-prepares for the new version
-	if err != nil {
-		t.Fatal(err)
-	}
-	hc := h.Cursor()
 	if err := e.AddRows("S", [][]values.Value{{9, 9}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := hc.Next(nil); !ok || err != nil {
-		t.Fatalf("handle cursor after mutation = (%v, %v), want alive", ok, err)
+
+	for {
+		var alive bool
+		out, alive, err = cur.Next(out)
+		if err != nil {
+			t.Fatalf("Next after mutation: %v", err)
+		}
+		if !alive {
+			break
+		}
+	}
+	if !eqValues(out, want) {
+		t.Fatalf("drained scan diverged from the pre-mutation stream:\n got %v\nwant %v", out, want)
+	}
+	if _, err := cur.Seek(0, io.SeekStart); err != nil {
+		t.Fatalf("Seek after mutation: %v", err)
+	}
+	reread := collectAll(t, cur, 4)
+	if !eqValues(reread, want) {
+		t.Fatalf("re-scan after mutation diverged:\n got %v\nwant %v", reread, want)
+	}
+	var allOut []values.Value
+	for tuple, err := range cur.All(0, cur.Total()) {
+		if err != nil {
+			t.Fatalf("All after mutation: %v", err)
+		}
+		allOut = append(allOut, tuple...)
+	}
+	if !eqValues(allOut, want) {
+		t.Fatalf("All after mutation diverged:\n got %v\nwant %v", allOut, want)
 	}
 
-	// A fresh cursor from the registration re-prepares and scans the
-	// new instance.
+	// A fresh cursor from the registration re-prepares and scans the new
+	// epoch, which the joined row (9,9)-(9,9) grew by one answer.
 	cur2, err := pq.Cursor()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cur2.Total() == cur.Total() {
-		t.Log("totals equal; mutation did not change |Q(I)| (fine)")
+	if cur2.Total() != cur.Total()+1 {
+		t.Fatalf("new-epoch cursor Total = %d, want %d", cur2.Total(), cur.Total()+1)
 	}
 	if _, ok, err := cur2.Next(nil); !ok || err != nil {
 		t.Fatalf("fresh cursor after mutation = (%v, %v)", ok, err)

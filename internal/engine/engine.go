@@ -18,10 +18,21 @@
 //     (single-flight), and all structures are immutable after
 //     construction, so any number of goroutines may probe one cached
 //     Handle;
-//   - instance mutation bumps the version and purges the cache, so the
-//     Engine never serves answers computed on stale data (handles
-//     already held by callers keep answering from their consistent
-//     pre-mutation snapshot).
+//   - mutations are MVCC: every write appends a batch to a write-ahead
+//     log (internal/delta) and bumps the version, but never purges the
+//     cache. A later Prepare of a stale structure catches up by
+//     replaying the logged batches — republishing the structure
+//     unchanged when no batch touches its relations, merging the
+//     answer-level delta in as a small sorted overlay
+//     (internal/access.Overlay) when one does, and falling back to a
+//     full rebuild only when the delta is opaque (Engine.Mutate), the
+//     log tail no longer reaches back, or the overlay grew past the
+//     hard limit. Once an overlay crosses the soft threshold a
+//     background re-preprocess rebuilds the structure and atomically
+//     swaps it into the cache while readers keep probing the published
+//     epoch. Handles and cursors always answer from the immutable epoch
+//     they were acquired on, so writes never invalidate an in-progress
+//     scan.
 package engine
 
 import (
@@ -37,6 +48,7 @@ import (
 	"rankedaccess/internal/classify"
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
+	"rankedaccess/internal/delta"
 	"rankedaccess/internal/fd"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/selection"
@@ -56,11 +68,27 @@ var ErrNotPrepared = errors.New("engine: query not prepared")
 // unset.
 const DefaultCacheSize = 64
 
+// DefaultDeltaSoft is the overlay edit count past which a background
+// re-preprocess is scheduled (the overlay keeps serving meanwhile).
+const DefaultDeltaSoft = 512
+
+// DefaultDeltaHard is the overlay edit count past which a catch-up
+// gives up on merging and rebuilds synchronously: beyond it the
+// O(log d) overlay search and the delta evaluation stop being cheaper
+// than preprocessing.
+const DefaultDeltaHard = 4096
+
 // Options configures an Engine.
 type Options struct {
 	// CacheSize bounds the number of cached access structures;
 	// DefaultCacheSize when <= 0.
 	CacheSize int
+	// DeltaSoft is the overlay size that triggers a background rebuild;
+	// DefaultDeltaSoft when <= 0.
+	DeltaSoft int
+	// DeltaHard is the overlay size that forces a synchronous rebuild;
+	// DefaultDeltaHard when <= 0.
+	DeltaHard int
 }
 
 // Spec identifies a ranked-access request against the engine's instance.
@@ -147,11 +175,29 @@ type Handle struct {
 	// persist it so a warm start can re-key the structure.
 	spec Spec
 
+	// version is the instance version (WAL sequence) this handle's
+	// answers reflect: the epoch it was built or caught up to.
+	version uint64
+	// rels is the set of relation symbols the query references; batches
+	// touching none of them republish the handle unchanged.
+	rels map[string]bool
+
 	lex      *access.Lex
 	sum      *access.Sum
 	mat      *access.Materialized
 	matIsLex bool      // the materialization is lex-sorted (not SUM-sorted)
 	matLex   order.Lex // realized order of a materialized-lex handle
+	sumW     order.Sum // weights of a SUM-ordered handle (sum or mat-sum)
+
+	// Delta overlay: when ov is non-nil every probe goes through the
+	// merged view of ovBase (an adapter over lex/sum/mat) plus the
+	// answer-level edits ovAdds/ovDels accumulated since the base was
+	// built. Immutable, like everything else on a Handle: a catch-up
+	// publishes a new Handle with a new overlay.
+	ov     *access.Overlay
+	ovBase *access.MergeBase
+	ovAdds []order.Answer
+	ovDels []order.Answer
 
 	// Sharded serving: sh merges per-shard structures; shProject maps a
 	// merged (possibly FD-extended) answer to the original query's
@@ -163,9 +209,23 @@ type Handle struct {
 	shNoInvert bool
 }
 
+// Version returns the instance version (epoch) the handle answers for.
+func (h *Handle) Version() uint64 { return h.version }
+
+// DeltaEdits returns the number of answer-level edits the handle's
+// overlay carries (0 for a handle serving its base structure directly).
+func (h *Handle) DeltaEdits() int {
+	if h.ov == nil {
+		return 0
+	}
+	return h.ov.Edits()
+}
+
 // Total returns |Q(I)| as of the handle's build.
 func (h *Handle) Total() int64 {
 	switch {
+	case h.ov != nil:
+		return h.ov.Total()
 	case h.sh != nil:
 		return h.sh.Total()
 	case h.lex != nil:
@@ -180,6 +240,8 @@ func (h *Handle) Total() int64 {
 // Access returns the k-th answer in the handle's order.
 func (h *Handle) Access(k int64) (order.Answer, error) {
 	switch {
+	case h.ov != nil:
+		return h.ov.Access(k)
 	case h.sh != nil:
 		a, err := h.sh.Access(k)
 		if err != nil {
@@ -203,6 +265,11 @@ func (h *Handle) Access(k int64) (order.Answer, error) {
 // structures do not).
 func (h *Handle) Inverted(a order.Answer) (int64, error) {
 	switch {
+	case h.ov != nil:
+		if h.sum != nil || (h.mat != nil && !h.matIsLex) {
+			return 0, ErrNoInverted
+		}
+		return h.ov.Inverted(a)
 	case h.sh != nil:
 		if h.shNoInvert {
 			return 0, ErrNoInverted
@@ -265,6 +332,8 @@ func (h *Handle) ShardTotals() []int64 {
 // goes into dst); the other structures only pay dst growth.
 func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error) {
 	switch {
+	case h.ov != nil:
+		return h.ov.AppendTuple(dst, k)
 	case h.sh != nil:
 		return h.sh.AppendTuple(dst, h.Query.Head, k)
 	case h.lex != nil:
@@ -292,6 +361,9 @@ func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error
 func (h *Handle) AccessRange(dst []values.Value, k0, k1 int64) ([]values.Value, error) {
 	if k0 < 0 || k1 < k0 {
 		return dst, fmt.Errorf("engine: bad access range [%d, %d)", k0, k1)
+	}
+	if h.ov != nil {
+		return h.ov.AppendRange(dst, k0, k1)
 	}
 	if h.sh != nil {
 		return h.sh.AppendRange(dst, h.Query.Head, k0, k1)
@@ -335,6 +407,22 @@ type Stats struct {
 	// the snapshot by the most recent Open/Restore (0 for a cold
 	// engine).
 	WarmStructures uint64
+	// WALBatches counts mutation batches applied through the write path.
+	WALBatches uint64
+	// DeltaSkips counts stale structures republished unchanged because
+	// no logged batch touched their relations.
+	DeltaSkips uint64
+	// DeltaEpochs counts overlay epochs published: stale structures that
+	// absorbed writes by merging the answer-level delta instead of
+	// rebuilding.
+	DeltaEpochs uint64
+	// DeltaRebuilds counts stale structures that had to rebuild
+	// synchronously (opaque reset, truncated log tail, ineligible
+	// structure, or an overlay past the hard limit).
+	DeltaRebuilds uint64
+	// BGRebuilds counts background re-preprocesses that completed and
+	// swapped a fresh structure into the cache.
+	BGRebuilds uint64
 }
 
 // flight is one in-progress build, shared by concurrent requesters.
@@ -357,10 +445,24 @@ type Engine struct {
 	// queries and cursors; it is written only under mu exclusive.
 	vnow atomic.Uint64
 
-	// cmu guards the cache and the in-flight build table.
-	cmu     sync.Mutex
-	cache   *lru
-	flights map[string]*flight
+	// wlog is the in-memory WAL tail stale structures catch up from;
+	// wal, when non-nil (snapshot-dir engines), is the durable on-disk
+	// log. Both are appended under mu exclusive.
+	wlog *delta.Log
+	wal  *delta.WAL
+
+	// deltaSoft/deltaHard are the overlay thresholds (see Options).
+	deltaSoft, deltaHard int
+
+	// cmu guards the cache, the in-flight build table, and the
+	// background-rebuild dedup set.
+	cmu          sync.Mutex
+	cache        *lru
+	flights      map[string]*flight
+	bgRebuilding map[string]bool
+
+	// bg tracks background re-preprocess goroutines (Quiesce waits).
+	bg sync.WaitGroup
 
 	// rmu guards the named-query registry.
 	rmu      sync.Mutex
@@ -370,6 +472,9 @@ type Engine struct {
 	hits, misses        atomic.Uint64
 	regHits, reprepares atomic.Uint64
 
+	walBatches, deltaSkips, deltaEpochs atomic.Uint64
+	deltaRebuilds, bgRebuilds           atomic.Uint64
+
 	// Snapshot state: counters plus the open file mappings warm
 	// structures alias (released by Close, never before).
 	checkpoints, restores, warmStructures atomic.Uint64
@@ -378,7 +483,8 @@ type Engine struct {
 }
 
 // New returns an Engine over the given instance. The Engine owns the
-// instance from here on: mutate it only through Mutate/AddRows.
+// instance from here on: mutate it only through the write path
+// (ApplyBatch/AddRows/DeleteRows/Mutate).
 func New(in *database.Instance, opts Options) *Engine {
 	if in == nil {
 		in = database.NewInstance()
@@ -387,64 +493,199 @@ func New(in *database.Instance, opts Options) *Engine {
 	if size <= 0 {
 		size = DefaultCacheSize
 	}
-	return &Engine{
-		in:       in,
-		cache:    newLRU(size),
-		flights:  make(map[string]*flight),
-		registry: make(map[string]*PreparedQuery),
+	soft := opts.DeltaSoft
+	if soft <= 0 {
+		soft = DefaultDeltaSoft
 	}
-}
-
-// invalidateLocked bumps the version and purges the cache; the caller
-// holds mu exclusively.
-func (e *Engine) invalidateLocked() {
-	e.version++
-	e.vnow.Store(e.version)
-	e.cmu.Lock()
-	e.cache.purge()
-	e.cmu.Unlock()
+	hard := opts.DeltaHard
+	if hard <= 0 {
+		hard = DefaultDeltaHard
+	}
+	return &Engine{
+		in:           in,
+		wlog:         delta.NewLog(0),
+		deltaSoft:    soft,
+		deltaHard:    hard,
+		cache:        newLRU(size),
+		flights:      make(map[string]*flight),
+		bgRebuilding: make(map[string]bool),
+		registry:     make(map[string]*PreparedQuery),
+	}
 }
 
 // versionNow reads the instance version without locking; registered
-// queries and cursors use it for staleness checks on their hot paths.
+// queries use it for staleness checks on their hot paths.
 func (e *Engine) versionNow() uint64 { return e.vnow.Load() }
 
-// Mutate applies f to the instance under the exclusive lock, bumps the
-// instance version, and purges the accessor cache, so later requests are
-// planned against the new data. Invalidation happens even when f panics:
-// a partial mutation must not be served from stale cached structures.
-func (e *Engine) Mutate(f func(*database.Instance)) {
+// ApplyBatch atomically applies one batch of relational mutations: the
+// batch is validated in full, appended to the durable WAL (when one is
+// attached) and the in-memory log, applied to the instance, and
+// published as the new instance version, which it returns. Cached
+// structures are NOT purged: the next request for one catches up from
+// the log — see the package comment.
+func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
+	for i := range muts {
+		if err := muts[i].Validate(); err != nil {
+			return 0, fmt.Errorf("engine: %w", err)
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	defer e.invalidateLocked()
-	f(e.in)
+	for i := range muts {
+		m := &muts[i]
+		if m.Op == delta.OpReset {
+			continue
+		}
+		if r := e.in.Relation(m.Rel); r != nil && r.Arity() != m.Arity {
+			return 0, fmt.Errorf("engine: relation %s has arity %d, %s has %d", m.Rel, r.Arity(), m.Op, m.Arity)
+		}
+	}
+	b := delta.Batch{Seq: e.version + 1, Muts: muts}
+	if e.wal != nil {
+		if err := e.wal.Append(b); err != nil {
+			return 0, fmt.Errorf("engine: %w", err)
+		}
+	}
+	applyMuts(e.in, muts)
+	e.wlog.Append(b)
+	e.version = b.Seq
+	e.vnow.Store(b.Seq)
+	e.walBatches.Add(1)
+	return b.Seq, nil
 }
 
-// AddRows appends rows to the named relation (creating it on first use)
-// and invalidates the cache. The rows are validated against the
+// applyMuts applies validated mutations to the instance. OpReset
+// applies nothing: it is a marker for an opaque change that already
+// happened (live) or that only the next checkpoint carries (replay).
+func applyMuts(in *database.Instance, muts []delta.Mutation) {
+	for i := range muts {
+		m := &muts[i]
+		switch m.Op {
+		case delta.OpInsert:
+			for r := 0; r < m.NumRows(); r++ {
+				in.AddRow(m.Rel, m.Row(r)...)
+			}
+		case delta.OpDelete:
+			for r := 0; r < m.NumRows(); r++ {
+				in.DeleteRow(m.Rel, m.Row(r)...)
+			}
+		}
+	}
+}
+
+// AddRows appends rows to the named relation (creating it on first
+// use) through the write path. The rows are validated against the
 // relation's arity (or each other, for a new relation) before anything
 // is appended, so a bad batch leaves the instance untouched.
 func (e *Engine) AddRows(rel string, rows [][]values.Value) error {
+	m, err := rowsMutation(delta.OpInsert, rel, rows)
+	if err != nil || m == nil {
+		return err
+	}
+	_, err = e.ApplyBatch([]delta.Mutation{*m})
+	return err
+}
+
+// DeleteRows removes every occurrence of each given row from the named
+// relation through the write path. Rows absent from the relation are
+// ignored (deletion is idempotent, which also makes WAL replay safe).
+func (e *Engine) DeleteRows(rel string, rows [][]values.Value) error {
+	m, err := rowsMutation(delta.OpDelete, rel, rows)
+	if err != nil || m == nil {
+		return err
+	}
+	_, err = e.ApplyBatch([]delta.Mutation{*m})
+	return err
+}
+
+// rowsMutation flattens row slices into one mutation record, checking
+// the rows agree on one arity (nil for an empty batch).
+func rowsMutation(op delta.Op, rel string, rows [][]values.Value) (*delta.Mutation, error) {
 	if len(rows) == 0 {
-		return nil
+		return nil, nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	arity := len(rows[0])
-	if r := e.in.Relation(rel); r != nil {
-		arity = r.Arity()
-	}
+	flat := make([]values.Value, 0, len(rows)*arity)
 	for _, row := range rows {
 		if len(row) != arity {
-			return fmt.Errorf("engine: relation %s has arity %d, row has %d", rel, arity, len(row))
+			return nil, fmt.Errorf("engine: relation %s has arity %d, row has %d", rel, arity, len(row))
 		}
+		flat = append(flat, row...)
 	}
-	for _, row := range rows {
-		e.in.AddRow(rel, row...)
-	}
-	e.invalidateLocked()
-	return nil
+	return &delta.Mutation{Op: op, Rel: rel, Arity: arity, Rows: flat}, nil
 }
+
+// Mutate applies an opaque mutation f to the instance under the
+// exclusive lock. The engine fingerprints every relation before and
+// after f and logs one OpReset batch naming exactly the relations that
+// changed, so structures over untouched relations republish cheaply
+// while structures over reset relations rebuild (a row-level delta is
+// unknowable for an opaque f). The version moves only when something
+// actually changed. The reset is logged even when f panics: a partial
+// mutation must not be served from stale structures.
+func (e *Engine) Mutate(f func(*database.Instance)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	before := fingerprints(e.in)
+	defer func() {
+		after := fingerprints(e.in)
+		var muts []delta.Mutation
+		for name, fp := range after {
+			if b, ok := before[name]; !ok || b != fp {
+				muts = append(muts, delta.Mutation{Op: delta.OpReset, Rel: name})
+			}
+		}
+		for name := range before {
+			if _, ok := after[name]; !ok {
+				muts = append(muts, delta.Mutation{Op: delta.OpReset, Rel: name})
+			}
+		}
+		if len(muts) == 0 {
+			return
+		}
+		sort.Slice(muts, func(i, j int) bool { return muts[i].Rel < muts[j].Rel })
+		b := delta.Batch{Seq: e.version + 1, Muts: muts}
+		if e.wal != nil {
+			// A reset replays as a no-op either way (opaque changes are
+			// durable only through the next checkpoint), so a failed
+			// append loses nothing but the seq advance marker.
+			_ = e.wal.Append(b)
+		}
+		e.wlog.Append(b)
+		e.version = b.Seq
+		e.vnow.Store(b.Seq)
+		e.walBatches.Add(1)
+	}()
+	f(e.in)
+}
+
+// fingerprints hashes every relation's contents (FNV-1a over arity,
+// length, and the flat data), keyed by name, so Mutate can detect which
+// relations an opaque mutation touched.
+func fingerprints(in *database.Instance) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, name := range in.Names() {
+		r := in.Relation(name)
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			h ^= v
+			h *= 1099511628211
+		}
+		mix(uint64(r.Arity()))
+		data := r.Data()
+		mix(uint64(len(data)))
+		for _, v := range data {
+			mix(uint64(v))
+		}
+		out[name] = h
+	}
+	return out
+}
+
+// Quiesce blocks until every in-flight background re-preprocess has
+// finished (tests and shutdown paths use it; serving code never needs
+// to).
+func (e *Engine) Quiesce() { e.bg.Wait() }
 
 // Version returns the current instance version.
 func (e *Engine) Version() uint64 {
@@ -476,16 +717,23 @@ func (e *Engine) Stats() Stats {
 		Checkpoints:    e.checkpoints.Load(),
 		Restores:       e.restores.Load(),
 		WarmStructures: e.warmStructures.Load(),
+		WALBatches:     e.walBatches.Load(),
+		DeltaSkips:     e.deltaSkips.Load(),
+		DeltaEpochs:    e.deltaEpochs.Load(),
+		DeltaRebuilds:  e.deltaRebuilds.Load(),
+		BGRebuilds:     e.bgRebuilds.Load(),
 	}
 }
 
-// key canonicalizes a Spec into a cache key for one instance version.
-// FD and SumBy lists are order-insensitive, and Order is dropped when
-// SumBy is set (parse ignores it, so the built structure is identical).
-// The shard count and partition variable are part of the accessor
-// identity: the same query sharded differently is a different
-// structure. ShardBy is dropped when the request is unsharded.
-func (s Spec) key(version uint64) string {
+// key canonicalizes a Spec into a cache key. The key is versionless —
+// one cache slot per spec, holding the handle for whatever epoch it
+// last built or caught up to (Handle.version records which). FD and
+// SumBy lists are order-insensitive, and Order is dropped when SumBy is
+// set (parse ignores it, so the built structure is identical). The
+// shard count and partition variable are part of the accessor identity:
+// the same query sharded differently is a different structure. ShardBy
+// is dropped when the request is unsharded.
+func (s Spec) key() string {
 	fds := append([]string(nil), s.FDs...)
 	sort.Strings(fds)
 	sumBy := append([]string(nil), s.SumBy...)
@@ -499,9 +747,16 @@ func (s Spec) key(version uint64) string {
 	if shards == 1 {
 		shardBy = ""
 	}
-	return fmt.Sprintf("%d\x00%s\x00%s\x00%s\x00%s\x00%d\x00%s",
-		version, s.Query, lexOrder, strings.Join(sumBy, ","), strings.Join(fds, ";"),
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%s\x00%d\x00%s",
+		s.Query, lexOrder, strings.Join(sumBy, ","), strings.Join(fds, ";"),
 		shards, shardBy)
+}
+
+// flightKey scopes a single-flight build to one instance version, so a
+// build against an old epoch is never handed to a requester of a new
+// one.
+func flightKey(key string, version uint64) string {
+	return fmt.Sprintf("%s\x00%d", key, version)
 }
 
 // parsed is a Spec after parsing against its own query.
@@ -559,19 +814,32 @@ func (e *Engine) Prepare(s Spec) (*Handle, error) {
 // prepareVersioned is Prepare returning also the instance version the
 // handle was resolved against, so registered queries can record which
 // snapshot their current handle answers for.
+//
+// A cached handle at the current version is a plain hit. A cached
+// handle at an older version is advanced instead of discarded:
+// republished unchanged when no logged batch touched its relations,
+// extended with a delta overlay when one did, rebuilt from scratch only
+// when neither works (see advance). Concurrent requesters for the same
+// spec at the same version share one catch-up/build through the flight
+// table.
 func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	version := e.version
-	key := s.key(version)
+	key := s.key()
+	fk := flightKey(key, version)
 
 	e.cmu.Lock()
+	var stale *Handle
 	if h := e.cache.get(key); h != nil {
-		e.cmu.Unlock()
-		e.hits.Add(1)
-		return h, version, nil
+		if h.version == version {
+			e.cmu.Unlock()
+			e.hits.Add(1)
+			return h, version, nil
+		}
+		stale = h
 	}
-	if fl, ok := e.flights[key]; ok {
+	if fl, ok := e.flights[fk]; ok {
 		e.cmu.Unlock()
 		e.hits.Add(1)
 		// The builder also holds mu.RLock, so waiting here cannot
@@ -580,18 +848,28 @@ func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 		return fl.h, version, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
-	e.flights[key] = fl
+	e.flights[fk] = fl
 	e.cmu.Unlock()
-	e.misses.Add(1)
 
-	fl.h, fl.err = e.build(s)
+	if stale != nil {
+		fl.h = e.advance(s, key, stale, version)
+	}
+	if fl.h != nil {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+		fl.h, fl.err = e.build(s)
+		if fl.err == nil {
+			fl.h.version = version
+		}
+	}
 	close(fl.done)
 
 	e.cmu.Lock()
 	if fl.err == nil {
 		e.cache.add(key, fl.h)
 	}
-	delete(e.flights, key)
+	delete(e.flights, fk)
 	e.cmu.Unlock()
 	return fl.h, version, fl.err
 }
@@ -612,9 +890,10 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
-	h := &Handle{Query: p.q, spec: s}
+	h := &Handle{Query: p.q, spec: s, rels: queryRels(p.q)}
 	var wfd classify.WithFDs // FD witness, reused by the sharded builders
 	if p.sum {
+		h.sumW = p.w
 		if len(p.fds) == 0 {
 			h.Plan.Verdict = classify.DirectAccessSum(p.q)
 		} else {
@@ -679,6 +958,15 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 	h.matIsLex = true
 	h.matLex = p.l
 	return h, nil
+}
+
+// queryRels collects the relation symbols a query references.
+func queryRels(q *cq.Query) map[string]bool {
+	rels := make(map[string]bool, len(q.Atoms))
+	for i := range q.Atoms {
+		rels[q.Atoms[i].Rel] = true
+	}
+	return rels
 }
 
 // shardFallback records why a sharded build fell back and clears any

@@ -10,10 +10,15 @@ import (
 	"rankedaccess/internal/classify"
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
+	"rankedaccess/internal/delta"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/snapshot"
 	"rankedaccess/internal/values"
 )
+
+// WALFileName is the durable write-ahead log's file name within a
+// snapshot directory (alongside the snapshot files themselves).
+const WALFileName = "wal.log"
 
 // This file is the engine's durability layer: Checkpoint serializes the
 // instance, the built access structures, and the prepared-query
@@ -100,7 +105,14 @@ func (e *Engine) Checkpoint(dir string) (CheckpointInfo, error) {
 	byKey := make(map[string]*Handle, len(handles))
 	keys := make([]string, 0, len(handles))
 	for _, h := range handles {
-		key := h.spec.key(0)
+		// Only structures answering for the checkpointed version persist;
+		// a stale handle or an overlay epoch (whose edits have no flat
+		// encoding) simply rebuilds on demand after a warm start.
+		if h.version != e.version || h.ov != nil {
+			info.Skipped++
+			continue
+		}
+		key := h.spec.key()
 		if _, ok := byKey[key]; ok {
 			continue
 		}
@@ -126,6 +138,16 @@ func (e *Engine) Checkpoint(dir string) (CheckpointInfo, error) {
 	if err != nil {
 		return info, fmt.Errorf("engine: checkpoint: %w", err)
 	}
+	// Every logged batch with Seq ≤ e.version is now inside the durable
+	// snapshot, and the read lock held here excludes concurrent appends,
+	// so the WAL can be emptied. Replay is version-guarded anyway
+	// (batches with Seq ≤ the snapshot version are skipped), so a crash
+	// between the rename above and this truncation loses nothing.
+	if e.wal != nil {
+		if err := e.wal.TruncateAll(); err != nil {
+			return info, fmt.Errorf("engine: checkpoint: truncating WAL: %w", err)
+		}
+	}
 	info.Name, info.Bytes = name, size
 	e.checkpoints.Add(1)
 	return info, nil
@@ -133,23 +155,44 @@ func (e *Engine) Checkpoint(dir string) (CheckpointInfo, error) {
 
 // Open warm-starts an engine from the newest snapshot in dir: the
 // instance is restored, every persisted structure is reconstructed
-// zero-copy over the mapped file into the accessor cache, and the
+// zero-copy over the mapped file into the accessor cache, the
 // prepared-query registry is rehydrated (handles resolve lazily, on
-// first probe, against that cache). warm is false when dir holds no
-// snapshot; the engine is then simply fresh and empty.
+// first probe, against that cache), and the durable WAL in dir is
+// replayed — batches newer than the snapshot are re-applied to the
+// instance and re-enter the in-memory log, so acknowledged writes
+// survive a crash between checkpoints. The opened engine keeps the WAL
+// attached: every later write appends to it. warm is false when dir
+// holds no snapshot (the WAL may still have replayed writes into the
+// otherwise-fresh engine).
 func Open(dir string, opts Options) (*Engine, bool, error) {
 	name, ok, err := snapshot.Latest(dir)
 	if err != nil {
 		return nil, false, fmt.Errorf("engine: open %s: %w", dir, err)
 	}
 	e := New(nil, opts)
-	if !ok {
-		return e, false, nil
+	if ok {
+		if _, err := e.loadSnapshot(filepath.Join(dir, name), true); err != nil {
+			return nil, false, err
+		}
 	}
-	if _, err := e.loadSnapshot(filepath.Join(dir, name), true); err != nil {
-		return nil, false, err
+	w, batches, err := delta.OpenWAL(filepath.Join(dir, WALFileName))
+	if err != nil {
+		e.Close()
+		return nil, false, fmt.Errorf("engine: open %s: %w", dir, err)
 	}
-	return e, true, nil
+	e.mu.Lock()
+	for _, b := range batches {
+		if b.Seq <= e.version {
+			continue // already inside the snapshot
+		}
+		applyMuts(e.in, b.Muts)
+		e.wlog.Append(b)
+		e.version = b.Seq
+	}
+	e.vnow.Store(e.version)
+	e.wal = w
+	e.mu.Unlock()
+	return e, ok, nil
 }
 
 // Restore replaces the engine's live state with a snapshot file's:
@@ -162,14 +205,24 @@ func (e *Engine) Restore(path string) (RestoreInfo, error) {
 	return e.loadSnapshot(path, false)
 }
 
-// Close releases the snapshot file mappings backing warm-started
-// structures. Call it only when the engine and every handle or cursor
-// obtained from it are no longer in use; mapped structures must not be
-// probed afterwards.
+// Close waits for background rebuilds, closes the durable WAL, and
+// releases the snapshot file mappings backing warm-started structures.
+// Call it only when the engine and every handle or cursor obtained from
+// it are no longer in use; mapped structures must not be probed
+// afterwards.
 func (e *Engine) Close() error {
+	e.bg.Wait()
+	var first error
+	e.mu.Lock()
+	if e.wal != nil {
+		if err := e.wal.Close(); err != nil {
+			first = err
+		}
+		e.wal = nil
+	}
+	e.mu.Unlock()
 	e.smu.Lock()
 	defer e.smu.Unlock()
-	var first error
 	for _, m := range e.mappings {
 		if err := m.Close(); err != nil && first == nil {
 			first = err
@@ -236,7 +289,8 @@ func (e *Engine) loadSnapshot(path string, fresh bool) (RestoreInfo, error) {
 			m.Close()
 			return info, fmt.Errorf("engine: snapshot structure %d: %w", i, err)
 		}
-		entries = append(entries, entry{key: h.spec.key(version), h: h})
+		h.version = version
+		entries = append(entries, entry{key: h.spec.key(), h: h})
 	}
 	type reg struct {
 		name string
@@ -260,6 +314,10 @@ func (e *Engine) loadSnapshot(path string, fresh bool) (RestoreInfo, error) {
 	e.in = in
 	e.version = version
 	e.vnow.Store(version)
+	// The log tail cannot express the wholesale replacement that just
+	// happened: declare the new version its floor, so every structure
+	// from before the load reports "cannot catch up" and rebuilds.
+	e.wlog.Reset(version)
 	e.cmu.Lock()
 	e.cache.purge()
 	// Insert in reverse so the first persisted structure ends up most
@@ -305,9 +363,10 @@ func (e *Engine) rehydrate(f *snapshot.File, sm *snapshot.StructureMeta) (*Handl
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{Query: p.q, spec: s}
+	h := &Handle{Query: p.q, spec: s, rels: queryRels(p.q)}
 	if p.sum {
 		h.Plan.Verdict = classify.DirectAccessSum(p.q)
+		h.sumW = p.w
 	} else {
 		h.Plan.Verdict = classify.DirectAccessLex(p.q, p.l)
 	}

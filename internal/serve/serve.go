@@ -4,8 +4,10 @@
 //
 // The primary surface is the versioned prepared-query API under /v1
 // (register a spec once under a name, probe and stream it by name —
-// see v1.go), plus the snapshot durability endpoints when a snapshot
-// directory is configured (checkpoint/list/restore — see snapshots.go).
+// see v1.go), the batch mutation endpoint /v1/write (atomic,
+// WAL-durable relational writes — see write.go), plus the snapshot
+// durability endpoints when a snapshot directory is configured
+// (checkpoint/list/restore — see snapshots.go).
 // The legacy one-shot endpoints remain as thin shims over the same
 // cores:
 //
@@ -109,6 +111,7 @@ func NewHandlerWith(e *engine.Engine, cfg Config) http.Handler {
 	mux.HandleFunc("POST /count", func(w http.ResponseWriter, r *http.Request) { handleCount(e, w, r) })
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { handleStats(e, st, w, r) })
 
+	mux.HandleFunc("POST /v1/write", func(w http.ResponseWriter, r *http.Request) { handleWrite(e, w, r) })
 	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) { handleRegister(e, w, r) })
 	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) { handleList(e, w, r) })
 	mux.HandleFunc("GET /v1/queries/{name}", func(w http.ResponseWriter, r *http.Request) { handleGetQuery(e, w, r) })
@@ -420,6 +423,15 @@ type statsResponse struct {
 	Checkpoints    uint64 `json:"snapshot_checkpoints"`
 	Restores       uint64 `json:"snapshot_restores"`
 	WarmStructures uint64 `json:"warm_structures"`
+	// Write-path counters: mutation batches applied, and how stale
+	// structures caught up — republished unchanged (untouched
+	// relations), advanced by delta overlay, or forced to rebuild —
+	// plus background re-preprocesses that swapped in.
+	WALBatches    uint64 `json:"wal_batches"`
+	DeltaSkips    uint64 `json:"delta_skips"`
+	DeltaEpochs   uint64 `json:"delta_epochs"`
+	DeltaRebuilds uint64 `json:"delta_rebuilds"`
+	BGRebuilds    uint64 `json:"bg_rebuilds"`
 }
 
 func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *http.Request) {
@@ -431,6 +443,9 @@ func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *ht
 		Reprepares: st.Reprepares, OpenCursors: cs.open(),
 		Checkpoints: st.Checkpoints, Restores: st.Restores,
 		WarmStructures: st.WarmStructures,
+		WALBatches:     st.WALBatches, DeltaSkips: st.DeltaSkips,
+		DeltaEpochs: st.DeltaEpochs, DeltaRebuilds: st.DeltaRebuilds,
+		BGRebuilds: st.BGRebuilds,
 	})
 }
 

@@ -21,9 +21,11 @@
 //
 // Sentinel errors map to stable status codes: an unknown name or cursor
 // is 404 (engine.ErrNotPrepared), an out-of-range index is 416
-// (access.ErrOutOfBound), an intractable spec registered with
-// "strict": true is 422 (access.ErrIntractable), and a cursor orphaned
-// by instance mutation is 410 Gone (engine.ErrCursorInvalidated).
+// (access.ErrOutOfBound), and an intractable spec registered with
+// "strict": true is 422 (access.ErrIntractable). The 410 Gone mapping
+// for engine.ErrCursorInvalidated is retained for API compatibility,
+// but the MVCC engine pins every cursor to its epoch, so mutations no
+// longer orphan cursors and no current path produces it.
 //
 // NDJSON streaming writes one JSON row array per line, encoded
 // incrementally from pooled buffers and flushed in chunks, so a client
@@ -454,8 +456,8 @@ func streamNDJSON(st *cursorStore, sc *serverCursor, w http.ResponseWriter, n in
 	if end > total {
 		end = total
 	}
-	// Validity check + position commit in one step: a cursor orphaned
-	// by mutation 410s here, before any header is written.
+	// Bounds check + position commit in one step: a bad window fails
+	// here, before any header is written.
 	if _, err := cur.Seek(end, io.SeekStart); err != nil {
 		cursorFail(st, sc, w, err)
 		return

@@ -157,8 +157,7 @@ func postRaw(t *testing.T, srv *httptest.Server, path string, body any) *http.Re
 }
 
 // TestV1ErrorStatusCodes pins the sentinel → status mapping of the v1
-// API: 404 unknown name, 416 out-of-range, 422 strict-intractable, 410
-// invalidated cursor.
+// API: 404 unknown name, 416 out-of-range, 422 strict-intractable.
 func TestV1ErrorStatusCodes(t *testing.T) {
 	srv, e := v1Server(t, 256, 43)
 	info := register(t, srv, "q", twoPath, "x, y, z")
@@ -216,19 +215,20 @@ func TestV1ErrorStatusCodes(t *testing.T) {
 		t.Fatalf("non-strict fallback info = %+v", hardInfo)
 	}
 
-	// An open cursor dies with 410 when the instance mutates.
+	// An open cursor is pinned to its epoch: it keeps serving its
+	// pre-mutation result set after the instance mutates.
 	var cr cursorResponse
 	post(t, srv, "/v1/queries/q/cursor", cursorRequest{}, &cr)
 	if err := e.AddRows("R", [][]values.Value{{999, 999}}); err != nil {
 		t.Fatal(err)
 	}
-	nresp := get(t, srv, "/v1/cursors/"+cr.Cursor+"/next?n=4", nil)
-	if nresp.StatusCode != http.StatusGone {
-		t.Fatalf("invalidated cursor: %d, want 410", nresp.StatusCode)
+	var nout cursorNextResponse
+	nresp := get(t, srv, "/v1/cursors/"+cr.Cursor+"/next?n=4", &nout)
+	if nresp.StatusCode != http.StatusOK {
+		t.Fatalf("cursor across mutation: %d, want 200", nresp.StatusCode)
 	}
-	// The invalidated cursor was dropped: now it is unknown.
-	if nresp := get(t, srv, "/v1/cursors/"+cr.Cursor+"/next?n=4", nil); nresp.StatusCode != http.StatusNotFound {
-		t.Fatalf("dropped cursor: %d, want 404", nresp.StatusCode)
+	if len(nout.Tuples) != 4 {
+		t.Fatalf("cursor across mutation: %d tuples, want 4", len(nout.Tuples))
 	}
 	if nresp := get(t, srv, "/v1/cursors/nope/next", nil); nresp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown cursor: %d, want 404", nresp.StatusCode)

@@ -28,9 +28,13 @@
 // For serving repeated queries, NewEngine returns a concurrency-safe
 // Engine that plans each request through the classification (layered
 // lexicographic structure, SUM structure, or materialized fallback),
-// caches built structures in an LRU keyed by (query, order, FDs,
-// instance version), shares one build among concurrent requests for the
-// same key, and invalidates on instance mutation. Engine.Prepare yields
+// caches built structures in an LRU keyed by (query, order, FDs),
+// shares one build among concurrent requests for the same key, and
+// absorbs instance mutations through an MVCC write path: writes go
+// through a WAL and publish new immutable versioned epochs, and a stale
+// structure catches up by republishing unchanged (untouched relations),
+// merging a small sorted delta overlay, or — past a threshold, in the
+// background — re-preprocessing. Engine.Prepare yields
 // a Handle safe for unbounded concurrent Access/Total/Inverted probes;
 // Engine.Access answers a batch of indices in one call. Preprocessing
 // fans out across bounded worker goroutines (see internal/par).
@@ -52,6 +56,7 @@ import (
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/decompose"
+	"rankedaccess/internal/delta"
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/enum"
 	"rankedaccess/internal/fd"
@@ -356,14 +361,32 @@ type PreparedInfo = engine.PreparedInfo
 // Cursor is a stateful scan over a prepared handle: Seek/Next/NextN in
 // O(log n) each through the allocation-free access paths, plus a
 // range-over-func All(k0, k1) iterator. Open one per goroutine via
-// PreparedQuery.Cursor (invalidated by instance mutation) or
-// EngineHandle.Cursor (pinned to the handle's immutable snapshot).
+// PreparedQuery.Cursor or EngineHandle.Cursor; either way the cursor is
+// pinned to its handle's immutable epoch and streams its full result
+// set unchanged across concurrent instance mutations.
 type Cursor = engine.Cursor
 
 // NewEngine returns an Engine over the given instance. The Engine owns
-// the instance from here on: mutate it only through Engine.Mutate or
-// Engine.AddRows so cached structures are invalidated.
+// the instance from here on: mutate it only through the write path
+// (Engine.ApplyBatch, Engine.AddRows, Engine.DeleteRows, or
+// Engine.Mutate) so writes are logged and cached structures advance to
+// the new version.
 func NewEngine(in *Instance, opts EngineOptions) *Engine { return engine.New(in, opts) }
+
+// Mutation is one relational write — rows of one relation inserted or
+// deleted — grouped atomically by Engine.ApplyBatch. Rows is flat with
+// stride Arity.
+type Mutation = delta.Mutation
+
+// MutationOp is the kind of one Mutation.
+type MutationOp = delta.Op
+
+// Mutation op kinds.
+const (
+	OpInsert = delta.OpInsert
+	OpDelete = delta.OpDelete
+	OpReset  = delta.OpReset
+)
 
 // CheckpointInfo reports what Engine.Checkpoint persisted.
 type CheckpointInfo = engine.CheckpointInfo
