@@ -210,6 +210,9 @@ type Stats struct {
 	DeltaEpochs   uint64 `json:"delta_epochs"`
 	DeltaRebuilds uint64 `json:"delta_rebuilds"`
 	BGRebuilds    uint64 `json:"bg_rebuilds"`
+	// WALErrors counts absorbed durable-WAL append failures; nonzero
+	// means the disk under the server's WAL is unhealthy.
+	WALErrors uint64 `json:"wal_errors"`
 }
 
 // Stats fetches the server's counters.

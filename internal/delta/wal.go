@@ -43,13 +43,22 @@ var ErrWALMagic = errors.New("delta: not a WAL file (bad magic)")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrWALBroken reports a WAL whose file position could not be restored
+// after a failed append: the file may end in a torn frame that cannot
+// be cleared, so further appends would land after garbage and be lost
+// at replay. The engine keeps serving reads; writes fail fast.
+var ErrWALBroken = errors.New("delta: WAL broken (unrecovered partial append)")
+
 // WAL is the durable write-ahead log: an append-only file of CRC-framed
 // batches. Appends are serialized by the engine's write lock; the WAL
 // itself is not goroutine-safe.
 type WAL struct {
-	f    *os.File
-	buf  []byte
-	last uint64 // highest appended/replayed seq
+	f      *os.File
+	buf    []byte
+	last   uint64  // highest appended/replayed seq
+	end    int64   // offset just past the last good frame
+	frames []int64 // per replayed frame: offset just past it (DiscardFrom)
+	broken bool    // a failed append could not be rolled back
 }
 
 // OpenWAL opens (creating if absent) the WAL at path, replays every
@@ -78,6 +87,7 @@ func OpenWAL(path string) (*WAL, []Batch, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	w.end = end
 	return w, batches, nil
 }
 
@@ -134,14 +144,22 @@ func (w *WAL) replay() ([]Batch, int64, error) {
 		batches = append(batches, b)
 		w.last = b.Seq
 		off += 8 + int64(length)
+		w.frames = append(w.frames, off)
 	}
 	return batches, off, nil
 }
 
 // Append encodes and writes one batch, then syncs, so an acknowledged
 // write survives a crash. Seq must exceed every previously appended
-// sequence.
+// sequence. A failed or partial write is rolled back to the end of the
+// last good frame before the error returns, so a later Append never
+// lands after garbage that would end replay early; if the rollback
+// itself fails, the WAL is marked broken and every further Append
+// fails fast with ErrWALBroken.
 func (w *WAL) Append(b Batch) error {
+	if w.broken {
+		return ErrWALBroken
+	}
 	if b.Seq <= w.last && w.last != 0 {
 		return fmt.Errorf("delta: WAL append seq %d after %d", b.Seq, w.last)
 	}
@@ -151,21 +169,42 @@ func (w *WAL) Append(b Batch) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 	if _, err := w.f.Write(hdr[:]); err != nil {
+		w.rewind()
 		return err
 	}
 	if _, err := w.f.Write(payload); err != nil {
+		w.rewind()
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
+		w.rewind()
 		return err
 	}
 	w.last = b.Seq
+	w.end += 8 + int64(len(payload))
 	return nil
+}
+
+// rewind restores the file to the end of the last good frame after a
+// failed append, discarding whatever part of the new frame landed. On
+// failure the WAL is marked broken: the file may end in bytes that
+// cannot be distinguished from a torn tail, so appending after them
+// would silently cut every later frame out of replay.
+func (w *WAL) rewind() {
+	if err := w.f.Truncate(w.end); err != nil {
+		w.broken = true
+		return
+	}
+	if _, err := w.f.Seek(w.end, io.SeekStart); err != nil {
+		w.broken = true
+	}
 }
 
 // TruncateAll drops every frame (the checkpoint that just persisted
 // them holds the write path locked out, so no frame can be newer than
-// the snapshot). The header stays; appends continue after it.
+// the snapshot). The header stays; appends continue after it. The
+// sequence floor is kept: the engine version only moves forward across
+// a checkpoint.
 func (w *WAL) TruncateAll() error {
 	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
 		return err
@@ -173,7 +212,55 @@ func (w *WAL) TruncateAll() error {
 	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.end = int64(len(walMagic))
+	w.frames = nil
+	w.broken = false
+	return nil
+}
+
+// Reset empties the WAL and declares seq its new sequence floor. Used
+// for discontinuities replay cannot express (a live snapshot restore):
+// the frames describe the pre-restore lineage and must not replay onto
+// the restored state, and the floor must follow the restored version so
+// the next append's seq passes the regression check.
+func (w *WAL) Reset(seq uint64) error {
+	if err := w.TruncateAll(); err != nil {
+		return err
+	}
+	w.last = seq
+	return nil
+}
+
+// DiscardFrom truncates the log so that only the first n replayed
+// frames remain, treating everything from frame n on as corrupt — the
+// same salvage OpenWAL applies to a torn tail, for poison that is only
+// detectable above the framing layer (a batch that fails validation
+// against the state it replays onto). Valid only on a freshly opened
+// WAL, before any Append or truncation.
+func (w *WAL) DiscardFrom(n int, lastSeq uint64) error {
+	if n < 0 || n > len(w.frames) {
+		return fmt.Errorf("delta: WAL discard from frame %d of %d", n, len(w.frames))
+	}
+	end := int64(len(walMagic))
+	if n > 0 {
+		end = w.frames[n-1]
+	}
+	if err := w.f.Truncate(end); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(end, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.end = end
+	w.frames = w.frames[:n]
+	w.last = lastSeq
+	return nil
 }
 
 // Close closes the underlying file.

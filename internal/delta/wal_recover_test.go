@@ -1,0 +1,167 @@
+package delta
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rankedaccess/internal/values"
+)
+
+// TestAppendRewindAfterPartialWrite: a partial frame left behind by a
+// failed append must not strand later appends behind it — replay would
+// stop at the garbage and silently drop every acknowledged batch after
+// it. rewind (Append's error path) restores the file position to the
+// end of the last good frame.
+func TestAppendRewindAfterPartialWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := Batch{Seq: 1, Muts: []Mutation{{Op: OpInsert, Rel: "R", Arity: 2, Rows: []values.Value{1, 2}}}}
+	if err := w.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn half of a failed append: raw bytes past the last
+	// good frame, as if the process had errored mid-write.
+	if _, err := w.f.Write([]byte("torn-frame-garbage")); err != nil {
+		t.Fatal(err)
+	}
+	w.rewind()
+	if w.broken {
+		t.Fatal("rewind on a healthy file marked the WAL broken")
+	}
+	b2 := Batch{Seq: 2, Muts: []Mutation{{Op: OpDelete, Rel: "R", Arity: 2, Rows: []values.Value{1, 2}}}}
+	if err := w.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Batch{b1, b2}; !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replay after rewind:\n got %+v\nwant %+v", replayed, want)
+	}
+}
+
+// TestAppendBrokenFailsFast: when the rollback itself fails, the WAL
+// must refuse further appends instead of writing after unrecovered
+// garbage.
+func TestAppendBrokenFailsFast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.f.Close()
+	// Swap in a read-only descriptor: the append's write fails, and so
+	// does the rewind's truncate.
+	good := w.f
+	ro, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	w.f = ro
+	b := Batch{Seq: 1, Muts: []Mutation{{Op: OpInsert, Rel: "R", Arity: 1, Rows: []values.Value{7}}}}
+	if err := w.Append(b); err == nil {
+		t.Fatal("append through a read-only descriptor succeeded")
+	}
+	if !w.broken {
+		t.Fatal("failed rollback did not mark the WAL broken")
+	}
+	w.f = good
+	if err := w.Append(b); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append on a broken WAL: err = %v, want ErrWALBroken", err)
+	}
+}
+
+// TestWALReset: Reset empties the log and moves the sequence floor, so
+// post-restore appends pass the regression check while pre-restore
+// frames are gone from replay.
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches() {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Batch{Seq: 42}); err == nil {
+		t.Fatal("append at the reset floor passed the seq-regression check")
+	}
+	b43 := Batch{Seq: 43, Muts: []Mutation{{Op: OpInsert, Rel: "V", Arity: 1, Rows: []values.Value{1}}}}
+	if err := w.Append(b43); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Batch{b43}; !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replay after reset:\n got %+v\nwant %+v", replayed, want)
+	}
+}
+
+// TestDiscardFrom: keeping a prefix of the replayed frames truncates
+// the file so a reopen sees exactly that prefix, and appends continue
+// cleanly after it.
+func TestDiscardFrom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := testBatches()
+	for _, b := range all {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, replayed, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(all) {
+		t.Fatalf("replayed %d frames, want %d", len(replayed), len(all))
+	}
+	if err := w2.DiscardFrom(1, replayed[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	b9 := Batch{Seq: 9, Muts: []Mutation{{Op: OpReset, Rel: "R"}}}
+	if err := w2.Append(b9); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Batch{all[0], b9}; !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replay after discard:\n got %+v\nwant %+v", replayed, want)
+	}
+}

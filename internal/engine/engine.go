@@ -423,6 +423,10 @@ type Stats struct {
 	// BGRebuilds counts background re-preprocesses that completed and
 	// swapped a fresh structure into the cache.
 	BGRebuilds uint64
+	// WALErrors counts durable-WAL append failures that were absorbed
+	// rather than returned (Mutate's reset marker, whose replay is a
+	// no-op anyway). Nonzero means the disk under the WAL is unhealthy.
+	WALErrors uint64
 }
 
 // flight is one in-progress build, shared by concurrent requesters.
@@ -444,6 +448,11 @@ type Engine struct {
 	// vnow mirrors version for lock-free staleness checks by registered
 	// queries and cursors; it is written only under mu exclusive.
 	vnow atomic.Uint64
+
+	// snapDir is the snapshot directory a WAL-attached engine was opened
+	// from; a live Restore checkpoints into it so the restored lineage
+	// is durable before the pre-restore WAL frames are discarded.
+	snapDir string
 
 	// wlog is the in-memory WAL tail stale structures catch up from;
 	// wal, when non-nil (snapshot-dir engines), is the durable on-disk
@@ -474,6 +483,7 @@ type Engine struct {
 
 	walBatches, deltaSkips, deltaEpochs atomic.Uint64
 	deltaRebuilds, bgRebuilds           atomic.Uint64
+	walErrors                           atomic.Uint64
 
 	// Snapshot state: counters plus the open file mappings warm
 	// structures alias (released by Close, never before).
@@ -531,14 +541,8 @@ func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for i := range muts {
-		m := &muts[i]
-		if m.Op == delta.OpReset {
-			continue
-		}
-		if r := e.in.Relation(m.Rel); r != nil && r.Arity() != m.Arity {
-			return 0, fmt.Errorf("engine: relation %s has arity %d, %s has %d", m.Rel, r.Arity(), m.Op, m.Arity)
-		}
+	if err := validateArity(e.in, muts); err != nil {
+		return 0, err
 	}
 	b := delta.Batch{Seq: e.version + 1, Muts: muts}
 	if e.wal != nil {
@@ -552,6 +556,39 @@ func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
 	e.vnow.Store(b.Seq)
 	e.walBatches.Add(1)
 	return b.Seq, nil
+}
+
+// validateArity checks every mutation's arity against the instance AND
+// against earlier mutations in the same batch, so a batch that creates
+// a relation cannot disagree with itself about its arity. This must
+// catch everything applyMuts would choke on BEFORE the batch reaches
+// the durable WAL: a poisoned frame would otherwise fail again on every
+// replay, turning one bad request into a crash loop across restarts.
+func validateArity(in *database.Instance, muts []delta.Mutation) error {
+	var created map[string]int
+	for i := range muts {
+		m := &muts[i]
+		if m.Op == delta.OpReset {
+			continue
+		}
+		if r := in.Relation(m.Rel); r != nil {
+			if r.Arity() != m.Arity {
+				return fmt.Errorf("engine: relation %s has arity %d, %s has %d", m.Rel, r.Arity(), m.Op, m.Arity)
+			}
+			continue
+		}
+		if a, ok := created[m.Rel]; ok {
+			if a != m.Arity {
+				return fmt.Errorf("engine: relation %s has arity %d earlier in the batch, %s has %d", m.Rel, a, m.Op, m.Arity)
+			}
+			continue
+		}
+		if created == nil {
+			created = make(map[string]int)
+		}
+		created[m.Rel] = m.Arity
+	}
+	return nil
 }
 
 // applyMuts applies validated mutations to the instance. OpReset
@@ -648,8 +685,12 @@ func (e *Engine) Mutate(f func(*database.Instance)) {
 		if e.wal != nil {
 			// A reset replays as a no-op either way (opaque changes are
 			// durable only through the next checkpoint), so a failed
-			// append loses nothing but the seq advance marker.
-			_ = e.wal.Append(b)
+			// append loses nothing but the seq advance marker — but it
+			// is still an I/O error on the durability path, so count it
+			// (Stats.WALErrors) instead of dropping it on the floor.
+			if err := e.wal.Append(b); err != nil {
+				e.walErrors.Add(1)
+			}
 		}
 		e.wlog.Append(b)
 		e.version = b.Seq
@@ -659,25 +700,33 @@ func (e *Engine) Mutate(f func(*database.Instance)) {
 	f(e.in)
 }
 
-// fingerprints hashes every relation's contents (FNV-1a over arity,
-// length, and the flat data), keyed by name, so Mutate can detect which
-// relations an opaque mutation touched.
-func fingerprints(in *database.Instance) map[string]uint64 {
-	out := make(map[string]uint64)
+// relFP fingerprints one relation for Mutate's touched-set detection:
+// arity and length compared exactly, contents compared by a 64-bit
+// FNV-1a hash. Equal fingerprints are treated as "unchanged", which is
+// a deliberate tradeoff: a same-length hash collision would skip the
+// OpReset and leave stale structures published. With random data that
+// is a ~2^-64 event per relation per Mutate; callers that cannot
+// accept it (adversarial tuple values chosen to collide) should use the
+// explicit write path (ApplyBatch/AddRows/DeleteRows), which needs no
+// fingerprinting at all.
+type relFP struct {
+	arity, n int
+	hash     uint64
+}
+
+// fingerprints hashes every relation's contents, keyed by name, so
+// Mutate can detect which relations an opaque mutation touched.
+func fingerprints(in *database.Instance) map[string]relFP {
+	out := make(map[string]relFP)
 	for _, name := range in.Names() {
 		r := in.Relation(name)
 		h := uint64(14695981039346656037)
-		mix := func(v uint64) {
-			h ^= v
+		data := r.Data()
+		for _, v := range data {
+			h ^= uint64(v)
 			h *= 1099511628211
 		}
-		mix(uint64(r.Arity()))
-		data := r.Data()
-		mix(uint64(len(data)))
-		for _, v := range data {
-			mix(uint64(v))
-		}
-		out[name] = h
+		out[name] = relFP{arity: r.Arity(), n: len(data), hash: h}
 	}
 	return out
 }
@@ -722,6 +771,7 @@ func (e *Engine) Stats() Stats {
 		DeltaEpochs:    e.deltaEpochs.Load(),
 		DeltaRebuilds:  e.deltaRebuilds.Load(),
 		BGRebuilds:     e.bgRebuilds.Load(),
+		WALErrors:      e.walErrors.Load(),
 	}
 }
 
@@ -867,7 +917,12 @@ func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 
 	e.cmu.Lock()
 	if fl.err == nil {
-		e.cache.add(key, fl.h)
+		// Same guard as spawnRebuild: a slow catch-up for an older
+		// version must not overwrite a newer handle a concurrent request
+		// already cached.
+		if cur := e.cache.get(key); cur == nil || cur.version <= fl.h.version {
+			e.cache.add(key, fl.h)
+		}
 	}
 	delete(e.flights, fk)
 	e.cmu.Unlock()

@@ -74,6 +74,12 @@ type RestoreInfo struct {
 func (e *Engine) Checkpoint(dir string) (CheckpointInfo, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.checkpointLocked(dir)
+}
+
+// checkpointLocked is Checkpoint's body; the caller holds e.mu (shared
+// suffices, the restore path holds it exclusively).
+func (e *Engine) checkpointLocked(dir string) (CheckpointInfo, error) {
 	info := CheckpointInfo{Version: e.version}
 	b := snapshot.NewBuilder(e.version, time.Now().UnixNano())
 	for _, name := range e.in.Names() {
@@ -181,9 +187,24 @@ func Open(dir string, opts Options) (*Engine, bool, error) {
 		return nil, false, fmt.Errorf("engine: open %s: %w", dir, err)
 	}
 	e.mu.Lock()
-	for _, b := range batches {
+	for i, b := range batches {
 		if b.Seq <= e.version {
 			continue // already inside the snapshot
+		}
+		if verr := validateArity(e.in, b.Muts); verr != nil {
+			// A frame that passes its CRC but fails validation against
+			// the state it replays onto cannot come from the engine's own
+			// write path (ApplyBatch validates before appending); it is
+			// corruption the framing layer cannot see. Salvage like a
+			// torn tail — keep the good prefix, truncate the rest — so
+			// one bad frame cannot turn every restart into a crash.
+			if terr := w.DiscardFrom(i, e.version); terr != nil {
+				e.mu.Unlock()
+				w.Close()
+				e.Close()
+				return nil, false, fmt.Errorf("engine: open %s: WAL frame %d invalid (%v) and untruncatable: %w", dir, i, verr, terr)
+			}
+			break
 		}
 		applyMuts(e.in, b.Muts)
 		e.wlog.Append(b)
@@ -191,6 +212,7 @@ func Open(dir string, opts Options) (*Engine, bool, error) {
 	}
 	e.vnow.Store(e.version)
 	e.wal = w
+	e.snapDir = dir
 	e.mu.Unlock()
 	return e, ok, nil
 }
@@ -201,6 +223,14 @@ func Open(dir string, opts Options) (*Engine, bool, error) {
 // cursors acquired before the restore keep answering their own
 // consistent pre-restore snapshot and prepared queries transparently
 // re-resolve — the same semantics as any other mutation.
+//
+// On a WAL-attached engine (one from Open) the restore is made durable
+// immediately: the restored state is checkpointed into the engine's
+// snapshot directory and the WAL — whose frames describe the
+// pre-restore lineage — is emptied with its sequence floor moved to the
+// restored version, so a crash right after Restore reopens into the
+// restored state, not into pre-restore frames replayed onto the wrong
+// base.
 func (e *Engine) Restore(path string) (RestoreInfo, error) {
 	return e.loadSnapshot(path, false)
 }
@@ -342,6 +372,23 @@ func (e *Engine) loadSnapshot(path string, fresh bool) (RestoreInfo, error) {
 	e.smu.Unlock()
 	e.warmStructures.Store(uint64(len(entries)))
 	if !fresh {
+		if e.wal != nil {
+			// The durable WAL holds pre-restore frames: replaying them
+			// onto whatever snapshot the next Open loads would rebuild
+			// the wrong lineage, and their seqs no longer mean anything
+			// against the restored state. Persist the restored state as a
+			// fresh checkpoint first (so the new lineage survives a
+			// crash), then empty the WAL and align its sequence floor
+			// with the restored version. The checkpoint happens before
+			// the truncation: if it fails, the old frames stay and the
+			// pre-restore lineage remains recoverable.
+			if _, err := e.checkpointLocked(e.snapDir); err != nil {
+				return info, fmt.Errorf("engine: restore: checkpointing restored state: %w", err)
+			}
+			if err := e.wal.Reset(version); err != nil {
+				return info, fmt.Errorf("engine: restore: resetting WAL: %w", err)
+			}
+		}
 		e.restores.Add(1)
 	}
 	info = RestoreInfo{

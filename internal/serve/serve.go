@@ -432,6 +432,7 @@ type statsResponse struct {
 	DeltaEpochs   uint64 `json:"delta_epochs"`
 	DeltaRebuilds uint64 `json:"delta_rebuilds"`
 	BGRebuilds    uint64 `json:"bg_rebuilds"`
+	WALErrors     uint64 `json:"wal_errors"`
 }
 
 func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *http.Request) {
@@ -445,7 +446,7 @@ func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *ht
 		WarmStructures: st.WarmStructures,
 		WALBatches:     st.WALBatches, DeltaSkips: st.DeltaSkips,
 		DeltaEpochs: st.DeltaEpochs, DeltaRebuilds: st.DeltaRebuilds,
-		BGRebuilds: st.BGRebuilds,
+		BGRebuilds: st.BGRebuilds, WALErrors: st.WALErrors,
 	})
 }
 
