@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // Value is a dictionary-encoded domain value, as served by the engine.
@@ -105,12 +106,32 @@ type Spec struct {
 type Options struct {
 	// HTTPClient overrides the transport; http.DefaultClient when nil.
 	HTTPClient *http.Client
+
+	// RequestTimeout bounds one non-streaming request end to end,
+	// retries and backoff sleeps included. 0 means
+	// DefaultRequestTimeout; negative disables the deadline. Streaming
+	// calls (Cursor.Stream) are exempt — cancel them via ctx.
+	RequestTimeout time.Duration
+
+	// MaxRetries is how many times a request the server shed with
+	// 429/503 (or a GET that failed in transport) is retried with
+	// capped exponential backoff and jitter, honoring the server's
+	// Retry-After. 0 means DefaultMaxRetries; negative disables
+	// retries.
+	MaxRetries int
+
+	// RetryBaseDelay and RetryMaxDelay shape the backoff; zero values
+	// mean DefaultRetryBaseDelay and DefaultRetryMaxDelay.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 // Client talks to one server. It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retry   retryPolicy
 }
 
 // Dial validates the base URL (e.g. "http://localhost:8080") and pings
@@ -124,9 +145,22 @@ func Dial(ctx context.Context, base string, opts *Options) (*Client, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("client: base URL %q must be http(s)", base)
 	}
-	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
-	if opts != nil && opts.HTTPClient != nil {
-		c.hc = opts.HTTPClient
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      http.DefaultClient,
+		timeout: DefaultRequestTimeout,
+		retry:   resolvePolicy(opts),
+	}
+	if opts != nil {
+		if opts.HTTPClient != nil {
+			c.hc = opts.HTTPClient
+		}
+		if opts.RequestTimeout != 0 {
+			c.timeout = opts.RequestTimeout
+			if c.timeout < 0 {
+				c.timeout = 0
+			}
+		}
 	}
 	if _, err := c.Stats(ctx); err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", base, err)
@@ -136,44 +170,78 @@ func Dial(ctx context.Context, base string, opts *Options) (*Client, error) {
 
 // do sends one JSON request and decodes a 2xx body into out (skipped
 // when out is nil); non-2xx responses come back as *APIError.
+//
+// Requests the server sheds with 429/503 are retried with backoff (the
+// server rejects those before processing, so writes are safe to
+// resend); transport errors are retried for GETs only, where a
+// duplicate cannot change state. Non-streaming requests run under the
+// client's RequestTimeout; streaming requests (accept != "") are bound
+// only by the caller's ctx.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, accept string) (*http.Response, error) {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
+		var err error
+		raw, err = json.Marshal(in)
 		if err != nil {
 			return nil, fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return nil, err
+	if accept == "" && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if accept != "" {
-		req.Header.Set("Accept", accept)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// The request may have reached the server; only a GET is
+			// safe to replay blind.
+			if method == http.MethodGet && attempt < c.retry.max && ctx.Err() == nil {
+				if sleepCtx(ctx, c.retry.delay(attempt, nil)) == nil {
+					continue
+				}
+			}
+			return nil, err
+		}
+		if shouldRetryStatus(resp.StatusCode) && attempt < c.retry.max {
+			d := c.retry.delay(attempt, resp)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if sleepCtx(ctx, d) == nil {
+				continue
+			}
+			return nil, ctx.Err()
+		}
+		if resp.StatusCode/100 != 2 {
+			defer resp.Body.Close()
+			return nil, decodeAPIError(resp)
+		}
+		if accept != "" {
+			// Streaming caller consumes and closes the body itself.
+			return resp, nil
+		}
 		defer resp.Body.Close()
-		return nil, decodeAPIError(resp)
-	}
-	if accept != "" {
-		// Streaming caller consumes and closes the body itself.
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return nil, fmt.Errorf("client: decode response: %w", err)
+			}
+		}
 		return resp, nil
 	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return nil, fmt.Errorf("client: decode response: %w", err)
-		}
-	}
-	return resp, nil
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError, falling

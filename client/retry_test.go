@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedServer answers /stats (so Dial succeeds) and sheds the first
+// fail requests to every other path with the given status before
+// letting them through.
+func shedServer(t *testing.T, fail int64, status int, retryAfter string) (*Client, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			w.Write([]byte("{}\n"))
+			return
+		}
+		if attempts.Add(1) <= fail {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"shed"}`))
+			return
+		}
+		w.Write([]byte(`{"version":7,"inserted":1,"deleted":0}`))
+	}))
+	t.Cleanup(srv.Close)
+	c, err := Dial(context.Background(), srv.URL, &Options{
+		HTTPClient:     srv.Client(),
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &attempts
+}
+
+func TestShedWriteRetriedUntilSuccess(t *testing.T) {
+	// 429 and 503 both mean "not processed": the SDK may resend even a
+	// write and must succeed once the server stops shedding.
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		c, attempts := shedServer(t, 2, status, "")
+		res, err := c.Write(context.Background(), Write{Relation: "R", Insert: [][]Value{{1, 2}}})
+		if err != nil {
+			t.Fatalf("status %d: write after retries: %v", status, err)
+		}
+		if res.Version != 7 || res.Inserted != 1 {
+			t.Fatalf("status %d: result = %+v", status, res)
+		}
+		if got := attempts.Load(); got != 3 {
+			t.Fatalf("status %d: %d attempts, want 3", status, got)
+		}
+	}
+}
+
+func TestRetriesExhaustedSurfaceTheShed(t *testing.T) {
+	c, attempts := shedServer(t, 1<<30, http.StatusServiceUnavailable, "1")
+	_, err := c.Write(context.Background(), Write{Relation: "R", Insert: [][]Value{{1, 2}}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retries: err = %v, want 503 APIError", err)
+	}
+	// Default policy: 1 initial attempt + DefaultMaxRetries retries.
+	if got := attempts.Load(); got != int64(DefaultMaxRetries)+1 {
+		t.Fatalf("%d attempts, want %d", got, DefaultMaxRetries+1)
+	}
+}
+
+func TestNegativeMaxRetriesDisables(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" {
+			w.Write([]byte("{}\n"))
+			return
+		}
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	c, err := Dial(context.Background(), srv.URL, &Options{HTTPClient: srv.Client(), MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(context.Background(), Write{Relation: "R", Insert: [][]Value{{1, 2}}}); err == nil {
+		t.Fatal("shed write succeeded")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("%d attempts with retries disabled, want 1", got)
+	}
+}
+
+func TestRequestTimeoutBoundsSlowServer(t *testing.T) {
+	var pinged atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pinged.CompareAndSwap(false, true) {
+			w.Write([]byte("{}\n")) // Dial's ping
+			return
+		}
+		select { // hang until the client gives up
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	t.Cleanup(srv.Close)
+	c, err := Dial(context.Background(), srv.URL, &Options{
+		HTTPClient:     srv.Client(),
+		RequestTimeout: 50 * time.Millisecond,
+		MaxRetries:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Stats(context.Background())
+	if err == nil {
+		t.Fatal("slow request returned")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow request: err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestRetryDelayHonorsRetryAfterUpToCap(t *testing.T) {
+	p := retryPolicy{max: 3, base: 10 * time.Millisecond, cap: 2 * time.Second}
+	mkResp := func(ra string) *http.Response {
+		h := http.Header{}
+		if ra != "" {
+			h.Set("Retry-After", ra)
+		}
+		return &http.Response{Header: h}
+	}
+	if d := p.delay(0, mkResp("1")); d != time.Second {
+		t.Fatalf("Retry-After 1 → %v, want 1s", d)
+	}
+	if d := p.delay(0, mkResp("30")); d != p.cap {
+		t.Fatalf("Retry-After 30 → %v, want capped at %v", d, p.cap)
+	}
+	// Absent or junk headers fall back to jittered backoff in [d/2, d].
+	for i, ra := range []string{"", "soon", "-2"} {
+		d := p.delay(2, mkResp(ra))
+		want := p.base << 2
+		if d < want/2 || d > want {
+			t.Fatalf("case %d: backoff %v outside [%v, %v]", i, d, want/2, want)
+		}
+	}
+	// Deep attempts stay capped.
+	if d := p.delay(40, nil); d < p.cap/2 || d > p.cap {
+		t.Fatalf("deep attempt backoff %v outside [%v, %v]", d, p.cap/2, p.cap)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"": 0, "abc": 0, "-1": 0, "0": 0,
+		"1": time.Second, "30": 30 * time.Second,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Fatalf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

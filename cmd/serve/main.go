@@ -9,11 +9,19 @@
 // Usage:
 //
 //	serve -addr :8080 -data /tmp/data -cache 128 -workers 0 \
-//	      -snapshot-dir /var/lib/ra -checkpoint-every 5m
+//	      -snapshot-dir /var/lib/ra -checkpoint-every 5m \
+//	      -request-timeout 2s -rate-limit 100 -max-concurrent 64
 //
 // Every <data>/<Name>.tsv file (as written by cmd/gen) is loaded as
 // relation <Name>. With -workers 1 preprocessing runs serially; 0 uses
 // all cores. SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// The overload controls (-request-timeout, -rate-limit/-rate-burst,
+// -max-concurrent/-max-queue, -stream-write-timeout, -max-body) are all
+// off or at permissive defaults unless set; shed requests answer
+// 429/503 with Retry-After, and /healthz (liveness) plus /readyz
+// (readiness: WAL healthy, rebuild backlog below the hard limit,
+// snapshot directory writable) report the serving state.
 //
 // With -snapshot-dir the server warm-starts from the newest snapshot in
 // the directory (instance, built structures, and prepared-query
@@ -71,6 +79,14 @@ func main() {
 		workers = flag.Int("workers", 0, "preprocessing worker bound (0 = all cores)")
 		snapDir = flag.String("snapshot-dir", "", "snapshot directory: warm-start from the newest snapshot and enable /v1/snapshots")
 		ckEvery = flag.Duration("checkpoint-every", 0, "background checkpoint interval (0 disables; requires -snapshot-dir)")
+
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline, queue wait included; exceeded requests get 503 + Retry-After (0 disables)")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-client requests/sec token-bucket rate; over-budget clients get 429 + Retry-After (0 disables)")
+		rateBurst   = flag.Int("rate-burst", 0, "per-client burst on top of -rate-limit (min 1)")
+		maxConc     = flag.Int("max-concurrent", 0, "max requests running at once; excess waits up to -max-queue then sheds 503 (0 disables)")
+		maxQueue    = flag.Int("max-queue", -1, "max requests waiting for a slot (-1 = -max-concurrent)")
+		streamWrite = flag.Duration("stream-write-timeout", 0, "per-chunk NDJSON write deadline so stalled readers cannot pin an epoch (0 = 30s, negative disables)")
+		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes, 413 beyond it (0 = 256 MiB)")
 	)
 	flag.Parse()
 	par.SetLimit(*workers)
@@ -111,8 +127,17 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: serve.NewHandlerWith(e, serve.Config{SnapshotDir: *snapDir}),
+		Addr: *addr,
+		Handler: serve.NewHandlerWith(e, serve.Config{
+			SnapshotDir:        *snapDir,
+			RequestTimeout:     *reqTimeout,
+			MaxBodyBytes:       *maxBody,
+			RatePerSec:         *rateLimit,
+			RateBurst:          *rateBurst,
+			MaxConcurrent:      *maxConc,
+			MaxQueue:           *maxQueue,
+			StreamWriteTimeout: *streamWrite,
+		}),
 		// Bound slow-header clients (slowloris) and idle keep-alive
 		// connections; no overall write timeout, since NDJSON cursor
 		// streams are legitimately long-lived.

@@ -1,6 +1,8 @@
 package access
 
 import (
+	"context"
+
 	"rankedaccess/internal/classify"
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
@@ -16,6 +18,12 @@ import (
 //
 // The instance must satisfy the FDs (checked; a violation is an error).
 func BuildLexFD(q *cq.Query, in *database.Instance, l order.Lex, fds fd.Set) (*Lex, error) {
+	return BuildLexFDCtx(context.Background(), q, in, l, fds)
+}
+
+// BuildLexFDCtx is BuildLexFD with cancellation, with the same wave
+// granularity as BuildLexCtx.
+func BuildLexFDCtx(ctx context.Context, q *cq.Query, in *database.Instance, l order.Lex, fds fd.Set) (*Lex, error) {
 	verdict, w := classify.DirectAccessLexFD(q, l, fds)
 	if !verdict.Tractable {
 		return nil, &IntractableError{Verdict: verdict}
@@ -27,7 +35,7 @@ func BuildLexFD(q *cq.Query, in *database.Instance, l order.Lex, fds fd.Set) (*L
 	if err != nil {
 		return nil, err
 	}
-	la, err := buildLayered(w.Ext.Query, iplus, w.LPlus)
+	la, err := buildLayered(ctx, w.Ext.Query, iplus, w.LPlus)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package access
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -125,15 +126,24 @@ func (la *Lex) Total() int64 { return la.total }
 // *IntractableError when (q, l) is on the intractable side of
 // Theorem 4.1. Preprocessing runs in O(n log n).
 func BuildLex(q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error) {
+	return BuildLexCtx(context.Background(), q, in, l)
+}
+
+// BuildLexCtx is BuildLex with cancellation: the O(n log n)
+// preprocessing checks ctx at every bucketize wave boundary and returns
+// ctx.Err() instead of finishing a build whose requester already gave
+// up. Cancellation granularity is one wave unit (a layer's bucketize),
+// never mid-layer.
+func BuildLexCtx(ctx context.Context, q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error) {
 	if v := classify.DirectAccessLex(q, l); !v.Tractable {
 		return nil, &IntractableError{Verdict: v}
 	}
-	return buildLayered(q, in, l)
+	return buildLayered(ctx, q, in, l)
 }
 
 // buildLayered builds the structure assuming tractability was already
 // established (on q itself or on an FD-extension).
-func buildLayered(q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error) {
+func buildLayered(ctx context.Context, q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error) {
 	full, err := reduce.FreeReduce(q, in)
 	if err != nil {
 		return nil, err
@@ -160,7 +170,7 @@ func buildLayered(q *cq.Query, in *database.Instance, l order.Lex) (*Lex, error)
 		return nil, err
 	}
 	la.semijoinReduce()
-	if err := la.computeWeights(); err != nil {
+	if err := la.computeWeights(ctx); err != nil {
 		return nil, err
 	}
 	return la, nil

@@ -1,6 +1,7 @@
 package access
 
 import (
+	"context"
 	"fmt"
 
 	"rankedaccess/internal/checked"
@@ -53,7 +54,7 @@ func (la *Lex) sharedCols(parent, child int) (pCols, cCols []int) {
 // layer's children of the weight of the child bucket selected by the
 // tuple; starts are prefix sums inside each bucket. The total count is
 // the weight of the root bucket.
-func (la *Lex) computeWeights() error {
+func (la *Lex) computeWeights(ctx context.Context) error {
 	f := len(la.layers)
 	if f == 0 {
 		return nil
@@ -83,7 +84,9 @@ func (la *Lex) computeWeights() error {
 	}
 	for _, wave := range waves {
 		wave := wave
-		if err := par.DoErr(len(wave), func(j int) error {
+		// The wave boundary is the cancellation point: a deadline-hit
+		// build stops between layer waves, never mid-bucketize.
+		if err := par.DoErrCtx(ctx, len(wave), func(j int) error {
 			return la.bucketize(wave[j])
 		}); err != nil {
 			return err

@@ -1,0 +1,174 @@
+// Package admission implements the serve layer's overload controls: a
+// per-client token-bucket rate limiter and a global concurrency gate
+// with a bounded wait queue.
+//
+// The two compose into the standard admission pipeline: the rate
+// limiter rejects a single client that is out of budget (429, its
+// problem), the gate bounds how much admitted work runs at once and how
+// much may wait (503 once the queue is full, everyone's problem). Both
+// answer "how long until it is worth retrying", which the serve layer
+// surfaces as Retry-After.
+package admission
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull reports that the concurrency gate's wait queue is at
+// capacity: the server is saturated beyond what queueing can absorb,
+// and the request should be shed immediately rather than parked.
+var ErrQueueFull = errors.New("admission: wait queue full")
+
+// RateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst, and each admitted request spends one.
+// Client state is bounded (maxClients); an idle client's bucket is
+// reclaimed, which at worst re-grants it a full burst.
+type RateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	max   int
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter granting each client ratePerSec
+// requests per second with the given burst. maxClients bounds tracked
+// state; <= 0 defaults to 4096.
+func NewRateLimiter(ratePerSec float64, burst int, maxClients int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients <= 0 {
+		maxClients = 4096
+	}
+	return &RateLimiter{
+		rate:    ratePerSec,
+		burst:   float64(burst),
+		max:     maxClients,
+		clients: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from client's bucket if one is available,
+// refilling by elapsed wall time first. When denied, retryAfter is the
+// time until the next token accrues — the Retry-After the caller should
+// surface.
+func (l *RateLimiter) Allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[client]
+	if b == nil {
+		if len(l.clients) >= l.max {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if l.rate <= 0 {
+		return false, time.Second // no refill configured; arbitrary floor
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// evictLocked reclaims idle buckets (fully refilled at now, so
+// dropping them changes nothing) and, if every client is active, the
+// oldest-touched bucket — bounded memory beats perfect fairness for
+// one client out of thousands.
+func (l *RateLimiter) evictLocked(now time.Time) {
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range l.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.clients, k)
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if len(l.clients) >= l.max && oldestKey != "" {
+		delete(l.clients, oldestKey)
+	}
+}
+
+// Clients reports the number of tracked client buckets (tests and
+// stats).
+func (l *RateLimiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}
+
+// Gate bounds concurrent admitted work and how many requests may wait
+// for a slot. Zero-cost when a slot is free; a full queue fails fast
+// with ErrQueueFull.
+type Gate struct {
+	sem    chan struct{}
+	maxQ   int64
+	queued atomic.Int64
+}
+
+// NewGate returns a gate admitting maxConcurrent requests at once with
+// at most maxQueue waiting. maxConcurrent <= 0 defaults to 64; maxQueue
+// < 0 defaults to maxConcurrent (0 means never wait).
+func NewGate(maxConcurrent, maxQueue int) *Gate {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 64
+	}
+	if maxQueue < 0 {
+		maxQueue = maxConcurrent
+	}
+	return &Gate{sem: make(chan struct{}, maxConcurrent), maxQ: int64(maxQueue)}
+}
+
+// Enter claims a slot, waiting in the bounded queue if none is free.
+// The returned release func MUST be called exactly once when the work
+// completes. Enter fails with ErrQueueFull when the queue is at
+// capacity and with ctx.Err() when the caller's deadline expires while
+// waiting.
+func (g *Gate) Enter(ctx context.Context) (release func(), err error) {
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQ {
+		g.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.sem }
+
+// Active reports requests currently holding a slot.
+func (g *Gate) Active() int { return len(g.sem) }
+
+// QueueDepth reports requests currently waiting for a slot.
+func (g *Gate) QueueDepth() int { return int(g.queued.Load()) }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"rankedaccess/internal/faultfs"
 	"rankedaccess/internal/values"
 )
 
@@ -53,7 +54,7 @@ var ErrWALBroken = errors.New("delta: WAL broken (unrecovered partial append)")
 // batches. Appends are serialized by the engine's write lock; the WAL
 // itself is not goroutine-safe.
 type WAL struct {
-	f      *os.File
+	f      faultfs.File
 	buf    []byte
 	last   uint64  // highest appended/replayed seq
 	end    int64   // offset just past the last good frame
@@ -65,7 +66,13 @@ type WAL struct {
 // intact frame, truncates a torn tail, and returns the replayed batches
 // oldest first. The returned WAL is positioned for appending.
 func OpenWAL(path string) (*WAL, []Batch, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(faultfs.OS(), path)
+}
+
+// OpenWALFS is OpenWAL over an explicit filesystem, the chaos-test seam
+// (see internal/faultfs).
+func OpenWALFS(fsys faultfs.FS, path string) (*WAL, []Batch, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -262,6 +269,11 @@ func (w *WAL) DiscardFrom(n int, lastSeq uint64) error {
 	w.last = lastSeq
 	return nil
 }
+
+// Broken reports whether a failed append could not be rolled back, so
+// every further Append fails fast with ErrWALBroken. Health probes use
+// it to flip readiness before a write has to hit the error.
+func (w *WAL) Broken() bool { return w.broken }
 
 // Close closes the underlying file.
 func (w *WAL) Close() error { return w.f.Close() }

@@ -211,7 +211,9 @@ func (e *Engine) spawnRebuild(s Spec, key string) {
 		defer e.bg.Done()
 		e.mu.RLock()
 		v := e.version
-		h, err := e.build(s)
+		// Build under the engine's lifetime context: Close abandons the
+		// rebuild at the next wave boundary instead of waiting it out.
+		h, err := e.build(e.life, s)
 		e.mu.RUnlock()
 		e.cmu.Lock()
 		delete(e.bgRebuilding, key)

@@ -36,6 +36,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ import (
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/delta"
+	"rankedaccess/internal/faultfs"
 	"rankedaccess/internal/fd"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/selection"
@@ -89,6 +91,10 @@ type Options struct {
 	// DeltaHard is the overlay size that forces a synchronous rebuild;
 	// DefaultDeltaHard when <= 0.
 	DeltaHard int
+	// FS is the filesystem the durability layer (WAL, checkpoints) runs
+	// on; faultfs.OS() when nil. Chaos tests substitute a
+	// faultfs.Injector here.
+	FS faultfs.FS
 }
 
 // Spec identifies a ranked-access request against the engine's instance.
@@ -463,6 +469,10 @@ type Engine struct {
 	// deltaSoft/deltaHard are the overlay thresholds (see Options).
 	deltaSoft, deltaHard int
 
+	// fs is the filesystem under the WAL and checkpoint files (see
+	// Options.FS).
+	fs faultfs.FS
+
 	// cmu guards the cache, the in-flight build table, and the
 	// background-rebuild dedup set.
 	cmu          sync.Mutex
@@ -472,6 +482,12 @@ type Engine struct {
 
 	// bg tracks background re-preprocess goroutines (Quiesce waits).
 	bg sync.WaitGroup
+
+	// life is the engine's lifetime context: background rebuilds build
+	// under it, so Close abandons them at the next wave boundary instead
+	// of waiting out a full O(n log n) preprocess.
+	life context.Context
+	stop context.CancelFunc
 
 	// rmu guards the named-query registry.
 	rmu      sync.Mutex
@@ -511,11 +527,19 @@ func New(in *database.Instance, opts Options) *Engine {
 	if hard <= 0 {
 		hard = DefaultDeltaHard
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	life, stop := context.WithCancel(context.Background())
 	return &Engine{
 		in:           in,
 		wlog:         delta.NewLog(0),
 		deltaSoft:    soft,
 		deltaHard:    hard,
+		fs:           fsys,
+		life:         life,
+		stop:         stop,
 		cache:        newLRU(size),
 		flights:      make(map[string]*flight),
 		bgRebuilding: make(map[string]bool),
@@ -775,6 +799,57 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// Health is a point-in-time degradation snapshot: the readiness signal
+// behind serve's /readyz and its write shedding.
+type Health struct {
+	// WALBroken reports an unrecoverable WAL append failure; writes fail
+	// fast with ErrWALBroken until a restart replays the good prefix.
+	WALBroken bool
+	// WALErrors is the count of absorbed durable-append failures
+	// (Stats.WALErrors); nonzero means the disk under the WAL is
+	// unhealthy even if the log itself is still usable.
+	WALErrors uint64
+	// MaxOverlayEdits is the largest delta overlay any cached structure
+	// carries. At or past DeltaHard the next probe of that structure
+	// pays a synchronous O(n log n) rebuild — the rebuild backlog is
+	// behind, and accepting more writes only digs the hole deeper.
+	MaxOverlayEdits int
+	// BGRebuilding is the number of background re-preprocesses in
+	// flight.
+	BGRebuilding int
+	// DeltaHard echoes the engine's hard overlay limit so callers can
+	// compare MaxOverlayEdits against it without config plumbing.
+	DeltaHard int
+}
+
+// Degraded reports whether the engine should shed writes: the WAL can
+// no longer durably accept them, or the rebuild backlog has fallen past
+// the hard overlay limit (reads still serve, from published epochs).
+func (h Health) Degraded() bool {
+	return h.WALBroken || h.MaxOverlayEdits >= h.DeltaHard
+}
+
+// Health samples the engine's degradation state. It takes the read
+// lock briefly (WAL state is written under the write lock) but never
+// blocks on builds.
+func (e *Engine) Health() Health {
+	h := Health{WALErrors: e.walErrors.Load(), DeltaHard: e.deltaHard}
+	e.mu.RLock()
+	if e.wal != nil {
+		h.WALBroken = e.wal.Broken()
+	}
+	e.mu.RUnlock()
+	e.cmu.Lock()
+	for _, ch := range e.cache.handles() {
+		if d := ch.DeltaEdits(); d > h.MaxOverlayEdits {
+			h.MaxOverlayEdits = d
+		}
+	}
+	h.BGRebuilding = len(e.bgRebuilding)
+	e.cmu.Unlock()
+	return h
+}
+
 // key canonicalizes a Spec into a cache key. The key is versionless —
 // one cache slot per spec, holding the handle for whatever epoch it
 // last built or caught up to (Handle.version records which). FD and
@@ -861,9 +936,29 @@ func (e *Engine) Prepare(s Spec) (*Handle, error) {
 	return h, err
 }
 
+// PrepareCtx is Prepare with cancellation: a request whose deadline
+// expires stops waiting on a shared in-flight build immediately, and a
+// build it runs itself is abandoned at the next preprocessing wave
+// boundary. The error then wraps ctx.Err().
+func (e *Engine) PrepareCtx(ctx context.Context, s Spec) (*Handle, error) {
+	h, _, err := e.prepareVersionedCtx(ctx, s)
+	return h, err
+}
+
 // prepareVersioned is Prepare returning also the instance version the
 // handle was resolved against, so registered queries can record which
 // snapshot their current handle answers for.
+func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
+	return e.prepareVersionedCtx(context.Background(), s)
+}
+
+// ctxErr reports whether an error is (or wraps) a context cancellation
+// or deadline expiry.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// prepareVersionedCtx resolves a spec against the current version.
 //
 // A cached handle at the current version is a plain hit. A cached
 // handle at an older version is advanced instead of discarded:
@@ -872,11 +967,28 @@ func (e *Engine) Prepare(s Spec) (*Handle, error) {
 // when neither works (see advance). Concurrent requesters for the same
 // spec at the same version share one catch-up/build through the flight
 // table.
-func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
+//
+// A shared flight builds under its FIRST requester's context. When that
+// requester gives up mid-build, waiters whose own deadlines are still
+// live retry with a fresh flight rather than inheriting the stranger's
+// cancellation.
+func (e *Engine) prepareVersionedCtx(ctx context.Context, s Spec) (*Handle, uint64, error) {
+	key := s.key()
+	for {
+		h, version, retry, err := e.prepareOnce(ctx, s, key)
+		if retry && ctx.Err() == nil {
+			continue
+		}
+		return h, version, err
+	}
+}
+
+// prepareOnce is one attempt of prepareVersionedCtx; retry=true means
+// the flight it joined died of its builder's cancellation, not ours.
+func (e *Engine) prepareOnce(ctx context.Context, s Spec, key string) (*Handle, uint64, bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	version := e.version
-	key := s.key()
 	fk := flightKey(key, version)
 
 	e.cmu.Lock()
@@ -885,17 +997,24 @@ func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 		if h.version == version {
 			e.cmu.Unlock()
 			e.hits.Add(1)
-			return h, version, nil
+			return h, version, false, nil
 		}
 		stale = h
 	}
 	if fl, ok := e.flights[fk]; ok {
 		e.cmu.Unlock()
-		e.hits.Add(1)
 		// The builder also holds mu.RLock, so waiting here cannot
 		// deadlock with a writer: both readers run to completion first.
-		<-fl.done
-		return fl.h, version, fl.err
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, 0, false, ctx.Err()
+		}
+		if fl.err != nil && ctxErr(fl.err) {
+			return nil, 0, true, fl.err
+		}
+		e.hits.Add(1)
+		return fl.h, version, false, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
 	e.flights[fk] = fl
@@ -908,12 +1027,11 @@ func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 		e.hits.Add(1)
 	} else {
 		e.misses.Add(1)
-		fl.h, fl.err = e.build(s)
+		fl.h, fl.err = e.build(ctx, s)
 		if fl.err == nil {
 			fl.h.version = version
 		}
 	}
-	close(fl.done)
 
 	e.cmu.Lock()
 	if fl.err == nil {
@@ -924,16 +1042,25 @@ func (e *Engine) prepareVersioned(s Spec) (*Handle, uint64, error) {
 			e.cache.add(key, fl.h)
 		}
 	}
+	// Deregister before waking waiters: a waiter retrying after a
+	// canceled build must find either the cached result or no flight at
+	// all, never the dead flight again (which would spin).
 	delete(e.flights, fk)
 	e.cmu.Unlock()
-	return fl.h, version, fl.err
+	close(fl.done)
+	return fl.h, version, false, fl.err
 }
 
 // build plans and constructs a structure; the caller holds mu.RLock, so
-// the instance is stable throughout.
-func (e *Engine) build(s Spec) (*Handle, error) {
+// the instance is stable throughout. Layered-lex builds check ctx at
+// every preprocessing wave boundary; the other structure kinds check it
+// once before their (uninterruptible) construction.
+func (e *Engine) build(ctx context.Context, s Spec) (*Handle, error) {
 	p, err := s.parse()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	shards := normShards(s.Shards)
@@ -974,6 +1101,9 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 			}
 		}
 		h.Plan.Mode = ModeMaterialized
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if shards > 1 && e.shardMaterialized(h, p, s.ShardBy, shards) {
 			return h, nil
 		}
@@ -992,9 +1122,12 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 		}
 		var la *access.Lex
 		if len(p.fds) == 0 {
-			la, err = access.BuildLex(p.q, e.in, p.l)
+			la, err = access.BuildLexCtx(ctx, p.q, e.in, p.l)
 		} else {
-			la, err = access.BuildLexFD(p.q, e.in, p.l, p.fds)
+			la, err = access.BuildLexFDCtx(ctx, p.q, e.in, p.l, p.fds)
+		}
+		if ctxErr(err) {
+			return nil, err
 		}
 		if err == nil {
 			h.Plan.Mode, h.Plan.Tractable, h.lex = ModeLayeredLex, true, la
@@ -1006,6 +1139,9 @@ func (e *Engine) build(s Spec) (*Handle, error) {
 		}
 	}
 	h.Plan.Mode = ModeMaterialized
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if shards > 1 && e.shardMaterialized(h, p, s.ShardBy, shards) {
 		return h, nil
 	}

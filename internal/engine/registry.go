@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -79,29 +80,55 @@ func (pq *PreparedQuery) Acquire() (*Handle, error) {
 	return h, err
 }
 
+// AcquireCtx is Acquire with cancellation: the fast path is unchanged
+// (one atomic load, no context check), but a slow-path re-prepare obeys
+// the request's deadline like PrepareCtx does.
+func (pq *PreparedQuery) AcquireCtx(ctx context.Context) (*Handle, error) {
+	h, _, err := pq.acquireVersionedCtx(ctx)
+	return h, err
+}
+
+// Current returns the registration's last published handle without
+// re-preparing, plus whether its epoch is the engine's current version.
+// A stale-but-present handle is the graceful-degradation read path:
+// under overload the serve layer answers from the last published epoch
+// (every handle is an immutable, internally consistent snapshot) rather
+// than paying a catch-up it has no budget for.
+func (pq *PreparedQuery) Current() (h *Handle, fresh bool) {
+	cur := pq.cur.Load()
+	if cur == nil {
+		return nil, false
+	}
+	return cur.h, cur.version == pq.e.versionNow()
+}
+
 // acquireVersioned is Acquire returning also the instance version the
 // handle was built for — the version cursors must pin to (reading the
 // engine's current version separately would race with mutations and
 // could pin an old handle to a new version).
 func (pq *PreparedQuery) acquireVersioned() (*Handle, uint64, error) {
+	return pq.acquireVersionedCtx(context.Background())
+}
+
+func (pq *PreparedQuery) acquireVersionedCtx(ctx context.Context) (*Handle, uint64, error) {
 	if cur := pq.cur.Load(); cur != nil && cur.version == pq.e.versionNow() {
 		pq.e.regHits.Add(1)
 		return cur.h, cur.version, nil
 	}
-	return pq.reprepare()
+	return pq.reprepare(ctx)
 }
 
 // reprepare rebuilds the handle for the current version; concurrent
 // callers for one PreparedQuery serialize here but share the build
 // itself through the engine's single-flight table.
-func (pq *PreparedQuery) reprepare() (*Handle, uint64, error) {
+func (pq *PreparedQuery) reprepare(ctx context.Context) (*Handle, uint64, error) {
 	pq.prepMu.Lock()
 	defer pq.prepMu.Unlock()
 	if cur := pq.cur.Load(); cur != nil && cur.version == pq.e.versionNow() {
 		pq.e.regHits.Add(1)
 		return cur.h, cur.version, nil
 	}
-	h, version, err := pq.e.prepareVersioned(pq.spec)
+	h, version, err := pq.e.prepareVersionedCtx(ctx, pq.spec)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -140,7 +140,7 @@ func (e *Engine) checkpointLocked(dir string) (CheckpointInfo, error) {
 		info.Registrations++
 	}
 
-	name, size, err := snapshot.WriteFile(dir, b)
+	name, size, err := snapshot.WriteFileFS(e.fs, dir, b)
 	if err != nil {
 		return info, fmt.Errorf("engine: checkpoint: %w", err)
 	}
@@ -181,7 +181,7 @@ func Open(dir string, opts Options) (*Engine, bool, error) {
 			return nil, false, err
 		}
 	}
-	w, batches, err := delta.OpenWAL(filepath.Join(dir, WALFileName))
+	w, batches, err := delta.OpenWALFS(e.fs, filepath.Join(dir, WALFileName))
 	if err != nil {
 		e.Close()
 		return nil, false, fmt.Errorf("engine: open %s: %w", dir, err)
@@ -241,6 +241,7 @@ func (e *Engine) Restore(path string) (RestoreInfo, error) {
 // it are no longer in use; mapped structures must not be probed
 // afterwards.
 func (e *Engine) Close() error {
+	e.stop() // abandon in-flight background rebuilds at their next wave
 	e.bg.Wait()
 	var first error
 	e.mu.Lock()

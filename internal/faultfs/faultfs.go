@@ -1,0 +1,302 @@
+// Package faultfs is the filesystem seam under the durability layers:
+// internal/delta (the WAL) and internal/snapshot (checkpoint files)
+// perform every file operation through the FS interface, so tests can
+// substitute an Injector that fails, short-writes, or breaks fsync at
+// the Nth operation and prove the recovery invariants (WAL append
+// rollback, torn-tail salvage, checkpoint atomicity) instead of hoping
+// for them.
+//
+// Production code uses OS(), a zero-cost passthrough to the os package.
+// Chaos tests wrap it:
+//
+//	inj := faultfs.NewInjector(faultfs.OS())
+//	inj.Inject(faultfs.Fault{Op: faultfs.OpSync, Nth: 2, Mode: faultfs.ModeFail})
+//	w, _, err := delta.OpenWALFS(inj, path)
+//
+// A Fault triggers exactly once, when the Injector has seen Nth-1 prior
+// operations of the same kind; operations after the trigger succeed
+// again, so "the caller retries and recovers" is testable in the same
+// process. See CONTRIBUTING.md for the policy on adding injection
+// points.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the slice of *os.File the durability layers use. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the slice of the os package the durability layers use.
+type FS interface {
+	// OpenFile opens (or creates) a file, as os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a temporary file, as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames a file, as os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file, as os.Remove.
+	Remove(name string) error
+	// MkdirAll creates a directory tree, as os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// osFS is the passthrough FS.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+// Op names one injectable operation kind. Write, Sync, and Truncate
+// count per operation across every file opened through the FS; Open,
+// CreateTemp, Rename, Remove, and MkdirAll count at the FS itself.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreateTemp
+	OpRename
+	OpRemove
+	OpMkdirAll
+	OpWrite
+	OpSync
+	OpTruncate
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpCreateTemp:
+		return "create-temp"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMkdirAll:
+		return "mkdir-all"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Mode selects how a triggered fault manifests.
+type Mode uint8
+
+const (
+	// ModeFail returns ErrInjected without performing the operation.
+	ModeFail Mode = iota
+	// ModeShortWrite (writes only) writes roughly half the buffer to the
+	// underlying file, then returns ErrInjected — a torn write.
+	ModeShortWrite
+	// ModeFailAfter performs the operation, then returns ErrInjected —
+	// the "the disk did it but reported an error" case (a sync whose
+	// error the caller must treat as failure even though the data may
+	// have landed).
+	ModeFailAfter
+)
+
+// ErrInjected is the error every triggered fault returns (possibly
+// wrapped); tests match it with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Fault is one scheduled failure: the Nth operation of kind Op (1-based,
+// counted from the moment the fault is armed) manifests as Mode.
+type Fault struct {
+	Op   Op
+	Nth  int
+	Mode Mode
+}
+
+// Injector wraps an FS and injects scheduled faults. Safe for
+// concurrent use.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	counts [numOps]int
+	faults []Fault
+	fired  int
+}
+
+// NewInjector wraps inner (usually OS()) with no faults armed.
+func NewInjector(inner FS) *Injector {
+	return &Injector{inner: inner}
+}
+
+// Inject arms a fault. Multiple faults may be armed; each triggers
+// independently, once.
+func (in *Injector) Inject(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if f.Nth < 1 {
+		f.Nth = 1
+	}
+	f.Nth += in.counts[f.Op] // Nth counts from now, not from construction
+	in.faults = append(in.faults, f)
+}
+
+// Fired reports how many armed faults have triggered.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Reset disarms every pending fault (already-triggered ones stay
+// counted in Fired).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// step counts one operation of kind op and reports the triggered fault,
+// if any.
+func (in *Injector) step(op Op) (Fault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	for i, f := range in.faults {
+		if f.Op == op && in.counts[op] == f.Nth {
+			in.faults = append(in.faults[:i], in.faults[i+1:]...)
+			in.fired++
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+func injected(op Op) error {
+	return fmt.Errorf("%w: %s", ErrInjected, op)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f, ok := in.step(OpOpen); ok && f.Mode == ModeFail {
+		return nil, injected(OpOpen)
+	}
+	file, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: file, in: in}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f, ok := in.step(OpCreateTemp); ok && f.Mode == ModeFail {
+		return nil, injected(OpCreateTemp)
+	}
+	file, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: file, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f, ok := in.step(OpRename); ok {
+		if f.Mode == ModeFail {
+			return injected(OpRename)
+		}
+		if err := in.inner.Rename(oldpath, newpath); err != nil {
+			return err
+		}
+		return injected(OpRename)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if f, ok := in.step(OpRemove); ok && f.Mode == ModeFail {
+		return injected(OpRemove)
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if f, ok := in.step(OpMkdirAll); ok && f.Mode == ModeFail {
+		return injected(OpMkdirAll)
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+// injFile intercepts the per-file operations of a file opened through
+// an Injector.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	if ft, ok := f.in.step(OpWrite); ok {
+		switch ft.Mode {
+		case ModeFail:
+			return 0, injected(OpWrite)
+		case ModeShortWrite:
+			n, err := f.File.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, injected(OpWrite)
+		case ModeFailAfter:
+			n, err := f.File.Write(p)
+			if err != nil {
+				return n, err
+			}
+			return n, injected(OpWrite)
+		}
+	}
+	return f.File.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if ft, ok := f.in.step(OpSync); ok {
+		switch ft.Mode {
+		case ModeFail:
+			return injected(OpSync)
+		case ModeShortWrite, ModeFailAfter:
+			if err := f.File.Sync(); err != nil {
+				return err
+			}
+			return injected(OpSync)
+		}
+	}
+	return f.File.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if ft, ok := f.in.step(OpTruncate); ok && ft.Mode == ModeFail {
+		return injected(OpTruncate)
+	}
+	return f.File.Truncate(size)
+}

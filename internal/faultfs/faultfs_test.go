@@ -1,0 +1,152 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSFilePassthrough(t *testing.T) {
+	fsys := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+// TestInjectNthWriteFailsOnceThenRecovers is the core contract: the Nth
+// write fails, the N+1st succeeds, so retry-and-recover is testable.
+func TestInjectNthWriteFailsOnceThenRecovers(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.Inject(Fault{Op: OpWrite, Nth: 2, Mode: ModeFail})
+	f, err := inj.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: want ErrInjected, got %v", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3 after fault: %v", err)
+	}
+	if got := inj.Fired(); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestShortWriteLandsPartialBytes(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.Inject(Fault{Op: OpWrite, Nth: 1, Mode: ModeShortWrite})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write landed %d bytes, want 4", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcd" {
+		t.Fatalf("file holds %q, want the torn half", got)
+	}
+}
+
+func TestSyncFailModes(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.Inject(Fault{Op: OpSync, Nth: 1, Mode: ModeFail})
+	inj.Inject(Fault{Op: OpSync, Nth: 2, Mode: ModeFailAfter})
+	f, err := inj.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: want ErrInjected, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 (fail-after): want ErrInjected, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+}
+
+// TestInjectCountsFromArming proves Nth is relative to the moment the
+// fault is armed, not to Injector construction — so a test can run a
+// setup phase through the same Injector and then schedule "the next
+// sync fails".
+func TestInjectCountsFromArming(t *testing.T) {
+	inj := NewInjector(OS())
+	f, err := inj.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Inject(Fault{Op: OpWrite, Nth: 1, Mode: ModeFail})
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected on next write, got %v", err)
+	}
+}
+
+func TestRenameAndOpenFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS())
+	inj.Inject(Fault{Op: OpRename, Nth: 1, Mode: ModeFail})
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(src, filepath.Join(dir, "dst")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: want ErrInjected, got %v", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("ModeFail rename must not move the file: %v", err)
+	}
+	if err := inj.Rename(src, filepath.Join(dir, "dst")); err != nil {
+		t.Fatalf("rename after fault: %v", err)
+	}
+
+	inj.Inject(Fault{Op: OpOpen, Nth: 1, Mode: ModeFail})
+	if _, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open: want ErrInjected, got %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.Inject(Fault{Op: OpRemove, Nth: 1, Mode: ModeFail})
+	inj.Reset()
+	if err := inj.Remove(filepath.Join(t.TempDir(), "absent")); errors.Is(err, ErrInjected) {
+		t.Fatal("Reset must disarm pending faults")
+	}
+}

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,50 @@ func Do(n int, f func(int)) {
 func DoErr(n int, f func(int) error) error {
 	errs := make([]error, n)
 	Do(n, func(i int) { errs[i] = f(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DoCtx is Do with cancellation: units not yet claimed when ctx is done
+// are skipped, and ctx.Err() is returned. Units already running are
+// never interrupted (they hold scratch buffers mid-mutation), so
+// cancellation latency is one unit, not zero — the wave boundary, not
+// the wave interior. A nil ctx degenerates to Do.
+func DoCtx(ctx context.Context, n int, f func(int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		Do(n, f)
+		return nil
+	}
+	var canceled atomic.Bool
+	Do(n, func(i int) {
+		if canceled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
+		}
+		f(i)
+	})
+	return ctx.Err()
+}
+
+// DoErrCtx is DoErr with cancellation, DoCtx's error-collecting
+// counterpart. On cancellation ctx.Err() wins over unit errors: a
+// partially-run wave's first-error is not deterministic, and callers
+// must treat the whole result as abandoned anyway.
+func DoErrCtx(ctx context.Context, n int, f func(int) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return DoErr(n, f)
+	}
+	errs := make([]error, n)
+	if err := DoCtx(ctx, n, func(i int) { errs[i] = f(i) }); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

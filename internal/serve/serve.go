@@ -18,6 +18,8 @@
 //	POST /classify  {"problem", "query", "order", "fds"}
 //	POST /count     {"query"}
 //	GET  /stats
+//	GET  /healthz
+//	GET  /readyz
 //
 // /access is batched: any number of indices is answered with a single
 // plan/cache lookup, so a cold query pays one preprocessing and a warm
@@ -30,8 +32,14 @@
 // optionally "shard_by"); the engine partitions the instance, builds
 // per-shard structures in parallel, and the handlers' probes fan out
 // across shards and merge by global rank — each shard keeping its
-// zero-alloc buffered probe path. Responses echo the effective shard
-// count and partition variable, or a note explaining a fallback.
+// zero-alloc buffered probe path.
+//
+// Overload behavior: every non-monitoring request passes the admission
+// pipeline (per-client token bucket → per-request deadline → global
+// concurrency gate, see resilience.go); hot probe windows coalesce
+// (see coalesce.go); a degraded engine serves reads from the last
+// published epoch and sheds writes with 503 + Retry-After. /stats,
+// /healthz, and /readyz bypass admission.
 //
 // Error handling: every response funnels through one writer that
 // encodes the full body before emitting the status line, so error
@@ -41,19 +49,30 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rankedaccess/internal/access"
+	"rankedaccess/internal/admission"
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/values"
 )
 
-// maxBody bounds request bodies (a /load of a few million rows fits).
-const maxBody = 256 << 20
+// defaultMaxBody bounds request bodies when Config.MaxBodyBytes is
+// unset (a /load of a few million rows fits).
+const defaultMaxBody = 256 << 20
+
+// defaultStreamWriteTimeout bounds each NDJSON chunk write when
+// Config.StreamWriteTimeout is unset: a reader that accepts nothing
+// for this long is presumed gone, and its stream — and the epoch
+// handle the cursor pins — is released.
+const defaultStreamWriteTimeout = 30 * time.Second
 
 // maxPooledBuf bounds (in bytes) the encode buffers kept in the pool,
 // and maxPooledTuples bounds (in values) the flat answer buffers, so
@@ -81,12 +100,71 @@ func putTupleBuf(flatP *[]values.Value, flat []values.Value) {
 	}
 }
 
-// Config tunes optional server features.
+// Config tunes optional server features. The zero value serves with
+// resilience features at safe defaults: no rate limit, no concurrency
+// gate, no request deadline (set them to engage admission control),
+// coalescing on, 256 MiB bodies, 30s stream write deadline.
 type Config struct {
 	// SnapshotDir, when non-empty, enables the durability endpoints
 	// (/v1/snapshots — checkpoint, list, restore) against that
-	// directory. Empty leaves them unmounted.
+	// directory, and gates /readyz on the directory staying writable.
+	// Empty leaves them unmounted.
 	SnapshotDir string
+
+	// RequestTimeout bounds one non-streaming request end to end,
+	// including queue wait and engine work; a request that exceeds it
+	// is answered 503 with Retry-After. 0 means no deadline.
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes caps request bodies (413 beyond it) on every
+	// decoding endpoint, /v1/write included. 0 means 256 MiB.
+	MaxBodyBytes int64
+
+	// RatePerSec and RateBurst configure the per-client token bucket;
+	// clients over budget get 429 with Retry-After. RatePerSec <= 0
+	// disables rate limiting.
+	RatePerSec float64
+	RateBurst  int
+
+	// MaxConcurrent caps requests running at once; MaxQueue caps how
+	// many may wait for a slot (beyond that: 503 + Retry-After).
+	// MaxConcurrent <= 0 disables the gate; MaxQueue < 0 defaults to
+	// MaxConcurrent.
+	MaxConcurrent int
+	MaxQueue      int
+
+	// StreamWriteTimeout bounds each NDJSON chunk write, so one
+	// stalled reader cannot pin a cursor's epoch forever. 0 means 30s;
+	// negative disables the deadline.
+	StreamWriteTimeout time.Duration
+
+	// CoalesceCache is the number of hot probe-window bodies kept for
+	// reuse. 0 means 256; negative disables coalescing entirely.
+	CoalesceCache int
+}
+
+// server holds one mounted API's state: the engine, admission
+// machinery, cursor store, coalescer, and overload counters.
+type server struct {
+	e   *engine.Engine
+	cfg Config
+	st  *cursorStore
+
+	lim  *admission.RateLimiter // nil: rate limiting off
+	gate *admission.Gate        // nil: concurrency gate off
+	coal *coalescer             // nil: coalescing off
+
+	maxBody     int64
+	streamWrite time.Duration // <= 0: no per-chunk write deadline
+
+	shed429       atomic.Uint64 // rate-limited requests
+	shed503       atomic.Uint64 // gate-shed requests
+	degradedReads atomic.Uint64 // reads answered from a stale epoch
+	writeSheds    atomic.Uint64 // writes refused while degraded
+
+	healthMu sync.Mutex
+	healthAt time.Time
+	healthC  engine.Health
 }
 
 // NewHandler mounts the API for one engine with default configuration;
@@ -97,37 +175,61 @@ func NewHandler(e *engine.Engine) http.Handler {
 
 // NewHandlerWith mounts the API for one engine: the versioned /v1
 // prepared-query surface (see v1.go), the snapshot endpoints when
-// configured (see snapshots.go), and the legacy one-shot endpoints,
-// which are thin shims over the same cores and remain supported (see
-// CONTRIBUTING.md for the deprecation policy).
+// configured (see snapshots.go), the probe endpoints (see health.go),
+// and the legacy one-shot endpoints, which are thin shims over the
+// same cores and remain supported (see CONTRIBUTING.md for the
+// deprecation policy).
 func NewHandlerWith(e *engine.Engine, cfg Config) http.Handler {
-	st := newCursorStore(defaultMaxCursors)
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) { handleLoad(e, w, r) })
-	mux.HandleFunc("POST /access", func(w http.ResponseWriter, r *http.Request) { handleAccess(e, w, r) })
-	mux.HandleFunc("POST /range", func(w http.ResponseWriter, r *http.Request) { handleRange(e, w, r) })
-	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) { handleSelect(e, w, r) })
-	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) { handleClassify(e, w, r) })
-	mux.HandleFunc("POST /count", func(w http.ResponseWriter, r *http.Request) { handleCount(e, w, r) })
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { handleStats(e, st, w, r) })
+	s := &server{e: e, cfg: cfg, st: newCursorStore(defaultMaxCursors)}
+	s.maxBody = cfg.MaxBodyBytes
+	if s.maxBody <= 0 {
+		s.maxBody = defaultMaxBody
+	}
+	s.streamWrite = cfg.StreamWriteTimeout
+	if s.streamWrite == 0 {
+		s.streamWrite = defaultStreamWriteTimeout
+	}
+	if cfg.RatePerSec > 0 {
+		s.lim = admission.NewRateLimiter(cfg.RatePerSec, cfg.RateBurst, 0)
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.gate = admission.NewGate(cfg.MaxConcurrent, cfg.MaxQueue)
+	}
+	if cfg.CoalesceCache >= 0 {
+		s.coal = newCoalescer(cfg.CoalesceCache)
+	}
 
-	mux.HandleFunc("POST /v1/write", func(w http.ResponseWriter, r *http.Request) { handleWrite(e, w, r) })
-	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) { handleRegister(e, w, r) })
-	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) { handleList(e, w, r) })
-	mux.HandleFunc("GET /v1/queries/{name}", func(w http.ResponseWriter, r *http.Request) { handleGetQuery(e, w, r) })
-	mux.HandleFunc("DELETE /v1/queries/{name}", func(w http.ResponseWriter, r *http.Request) { handleEvict(e, w, r) })
-	mux.HandleFunc("POST /v1/queries/{name}/access", func(w http.ResponseWriter, r *http.Request) { handleV1Access(e, w, r) })
-	mux.HandleFunc("POST /v1/queries/{name}/range", func(w http.ResponseWriter, r *http.Request) { handleV1Range(e, w, r) })
-	mux.HandleFunc("POST /v1/queries/{name}/select", func(w http.ResponseWriter, r *http.Request) { handleV1Select(e, w, r) })
-	mux.HandleFunc("POST /v1/queries/{name}/count", func(w http.ResponseWriter, r *http.Request) { handleV1Count(e, w, r) })
-	mux.HandleFunc("POST /v1/queries/{name}/classify", func(w http.ResponseWriter, r *http.Request) { handleV1Classify(e, w, r) })
-	mux.HandleFunc("POST /v1/queries/{name}/cursor", func(w http.ResponseWriter, r *http.Request) { handleCursorCreate(e, st, w, r) })
-	mux.HandleFunc("GET /v1/cursors/{id}/next", func(w http.ResponseWriter, r *http.Request) { handleCursorNext(st, w, r) })
-	mux.HandleFunc("DELETE /v1/cursors/{id}", func(w http.ResponseWriter, r *http.Request) { handleCursorClose(st, w, r) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /load", s.admit(s.handleLoad))
+	mux.HandleFunc("POST /access", s.admit(s.handleAccess))
+	mux.HandleFunc("POST /range", s.admit(s.handleRange))
+	mux.HandleFunc("POST /select", s.admit(s.handleSelect))
+	mux.HandleFunc("POST /classify", s.admit(s.handleClassify))
+	mux.HandleFunc("POST /count", s.admit(s.handleCount))
+
+	// Monitoring endpoints bypass admission: an operator must be able
+	// to observe (and an orchestrator to probe) an overloaded server.
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+
+	mux.HandleFunc("POST /v1/write", s.admit(s.handleWrite))
+	mux.HandleFunc("POST /v1/queries", s.admit(s.handleRegister))
+	mux.HandleFunc("GET /v1/queries", s.admit(s.handleList))
+	mux.HandleFunc("GET /v1/queries/{name}", s.admit(s.handleGetQuery))
+	mux.HandleFunc("DELETE /v1/queries/{name}", s.admit(s.handleEvict))
+	mux.HandleFunc("POST /v1/queries/{name}/access", s.admit(s.handleV1Access))
+	mux.HandleFunc("POST /v1/queries/{name}/range", s.admit(s.handleV1Range))
+	mux.HandleFunc("POST /v1/queries/{name}/select", s.admit(s.handleV1Select))
+	mux.HandleFunc("POST /v1/queries/{name}/count", s.admit(s.handleV1Count))
+	mux.HandleFunc("POST /v1/queries/{name}/classify", s.admit(s.handleV1Classify))
+	mux.HandleFunc("POST /v1/queries/{name}/cursor", s.admit(s.handleCursorCreate))
+	mux.HandleFunc("GET /v1/cursors/{id}/next", s.admitStream(s.handleCursorNext))
+	mux.HandleFunc("DELETE /v1/cursors/{id}", s.admit(s.handleCursorClose))
 	if dir := cfg.SnapshotDir; dir != "" {
-		mux.HandleFunc("POST /v1/snapshots", func(w http.ResponseWriter, r *http.Request) { handleSnapshotCreate(e, dir, w, r) })
-		mux.HandleFunc("GET /v1/snapshots", func(w http.ResponseWriter, r *http.Request) { handleSnapshotList(dir, w, r) })
-		mux.HandleFunc("POST /v1/snapshots/{name}/restore", func(w http.ResponseWriter, r *http.Request) { handleSnapshotRestore(e, dir, w, r) })
+		mux.HandleFunc("POST /v1/snapshots", s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotCreate(e, dir, w, r) }))
+		mux.HandleFunc("GET /v1/snapshots", s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotList(dir, w, r) }))
+		mux.HandleFunc("POST /v1/snapshots/{name}/restore", s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotRestore(e, dir, w, r) }))
 	}
 	return mux
 }
@@ -175,9 +277,12 @@ type loadResponse struct {
 	Version  uint64 `json:"version"`
 }
 
-func handleLoad(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.shedWrite(w) {
+		return
+	}
 	var req loadRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Relation == "" {
@@ -186,11 +291,11 @@ func handleLoad(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	// AddRows validates arity (against the existing relation or within
 	// the batch) before mutating anything.
-	if err := e.AddRows(req.Relation, req.Rows); err != nil {
+	if err := s.e.AddRows(req.Relation, req.Rows); err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	reply(w, loadResponse{Relation: req.Relation, Loaded: len(req.Rows), Version: e.Version()})
+	reply(w, loadResponse{Relation: req.Relation, Loaded: len(req.Rows), Version: s.e.Version()})
 }
 
 type accessRequest struct {
@@ -243,12 +348,12 @@ func buildAccessResponse(h *engine.Handle, ks []int64) accessResponse {
 	return resp
 }
 
-func handleAccess(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	var req accessRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	h, err := e.Prepare(req.spec())
+	h, err := s.e.PrepareCtx(r.Context(), req.spec())
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -274,18 +379,22 @@ type rangeResponse struct {
 // maxRange bounds one /range window (the client can page).
 const maxRange = 1 << 20
 
-func handleRange(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var req rangeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.K1-req.K0 > maxRange {
 		fail(w, http.StatusBadRequest, fmt.Errorf("serve: range wider than %d; page the request", maxRange))
 		return
 	}
+	h, err := s.e.PrepareCtx(r.Context(), req.spec())
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
 	flatP := tuplePool.Get().(*[]values.Value)
-	flat := (*flatP)[:0]
-	h, flat, err := e.AccessRange(req.spec(), flat, req.K0, req.K1)
+	flat, err := h.AccessRange((*flatP)[:0], req.K0, req.K1)
 	if err != nil {
 		putTupleBuf(flatP, flat)
 		status := http.StatusBadRequest
@@ -331,12 +440,12 @@ type selectResponse struct {
 	Tuple []values.Value `json:"tuple"`
 }
 
-func handleSelect(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req selectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	tuple, err := e.Select(req.spec(), req.K)
+	tuple, err := s.e.Select(req.spec(), req.K)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, access.ErrOutOfBound) {
@@ -360,15 +469,15 @@ type classifyResponse struct {
 	Trio      []string `json:"trio,omitempty"`
 }
 
-func handleClassify(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	var req classifyRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Problem == "" {
 		req.Problem = engine.ProblemDirectAccessLex
 	}
-	v, err := e.Classify(req.Problem, req.spec())
+	v, err := s.e.Classify(req.Problem, req.spec())
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -387,14 +496,14 @@ type countResponse struct {
 	shardEcho
 }
 
-func handleCount(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 	var req countRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	// Shards ≥ 2 scatter-gathers: per-shard counts run in parallel and
 	// sum (shard answer sets partition the answer space).
-	n, info, err := e.CountSharded(req.Query, req.Shards, req.ShardBy)
+	n, info, err := s.e.CountSharded(req.Query, req.Shards, req.ShardBy)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -433,25 +542,52 @@ type statsResponse struct {
 	DeltaRebuilds uint64 `json:"delta_rebuilds"`
 	BGRebuilds    uint64 `json:"bg_rebuilds"`
 	WALErrors     uint64 `json:"wal_errors"`
+	// Overload counters: requests shed by the rate limiter (429) and
+	// the concurrency gate (503), current gate occupancy and queue
+	// depth, coalescer traffic, reads served from a stale epoch while
+	// degraded, and writes refused while degraded.
+	Shed429        uint64 `json:"shed_rate_limited"`
+	Shed503        uint64 `json:"shed_overload"`
+	InFlight       int    `json:"in_flight"`
+	QueueDepth     int    `json:"queue_depth"`
+	CoalesceHits   uint64 `json:"coalesce_hits"`
+	CoalesceMisses uint64 `json:"coalesce_misses"`
+	DegradedReads  uint64 `json:"degraded_reads"`
+	WriteSheds     uint64 `json:"write_sheds"`
+	Degraded       bool   `json:"degraded"`
 }
 
-func handleStats(e *engine.Engine, cs *cursorStore, w http.ResponseWriter, _ *http.Request) {
-	st := e.Stats()
-	reply(w, statsResponse{
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.e.Stats()
+	resp := statsResponse{
 		Hits: st.Hits, Misses: st.Misses, Entries: st.Entries,
 		Version: st.Version, Tuples: st.Tuples,
 		Prepared: st.Prepared, RegistryHits: st.RegistryHits,
-		Reprepares: st.Reprepares, OpenCursors: cs.open(),
+		Reprepares: st.Reprepares, OpenCursors: s.st.open(),
 		Checkpoints: st.Checkpoints, Restores: st.Restores,
 		WarmStructures: st.WarmStructures,
 		WALBatches:     st.WALBatches, DeltaSkips: st.DeltaSkips,
 		DeltaEpochs: st.DeltaEpochs, DeltaRebuilds: st.DeltaRebuilds,
 		BGRebuilds: st.BGRebuilds, WALErrors: st.WALErrors,
-	})
+		Shed429:       s.shed429.Load(),
+		Shed503:       s.shed503.Load(),
+		DegradedReads: s.degradedReads.Load(),
+		WriteSheds:    s.writeSheds.Load(),
+		Degraded:      s.health().Degraded(),
+	}
+	if s.gate != nil {
+		resp.InFlight = s.gate.Active()
+		resp.QueueDepth = s.gate.QueueDepth()
+	}
+	if s.coal != nil {
+		resp.CoalesceHits = s.coal.hits.Load()
+		resp.CoalesceMisses = s.coal.misses.Load()
+	}
+	reply(w, resp)
 }
 
-func decode(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		status := http.StatusBadRequest
@@ -469,7 +605,15 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// fail writes a structured error. A deadline or cancellation error is
+// never the client's fault in this API — it means the request ran out
+// of budget inside the engine — so it is reported as overload: 503
+// with a Retry-After, regardless of the status the handler guessed.
 func fail(w http.ResponseWriter, status int, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusServiceUnavailable
+		setRetryAfter(w, time.Second)
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
@@ -502,6 +646,24 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	if buf.Cap() <= maxPooledBuf {
 		encPool.Put(buf)
 	}
+}
+
+// writeRaw emits a pre-encoded JSON body (the coalescer caches and
+// shares encoded bodies across requests).
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// encodeJSON renders a response body to a standalone slice — coalesce
+// cache entries outlive any one request, so no pooled buffer.
+func encodeJSON(body any) ([]byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // publicErr maps per-index access errors to stable API strings.

@@ -25,12 +25,20 @@
 // "strict": true is 422 (access.ErrIntractable). The 410 Gone mapping
 // for engine.ErrCursorInvalidated is retained for API compatibility,
 // but the MVCC engine pins every cursor to its epoch, so mutations no
-// longer orphan cursors and no current path produces it.
+// longer orphan cursors and no current path produces it. A request
+// that runs out of deadline inside the engine is 503 with Retry-After
+// (see fail).
+//
+// The hot probe endpoints (/access, /range) coalesce: concurrent
+// identical requests against one epoch share a single probe + encode,
+// and hot window bodies serve straight from the coalescer's cache
+// (keys embed the epoch version, so a write is automatically a miss).
 //
 // NDJSON streaming writes one JSON row array per line, encoded
 // incrementally from pooled buffers and flushed in chunks, so a client
 // can consume a multi-million-row window without the server ever
-// materializing it.
+// materializing it. Each chunk write carries a deadline, so a stalled
+// reader loses its stream instead of pinning the cursor's epoch.
 package serve
 
 import (
@@ -40,6 +48,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/engine"
@@ -118,9 +127,9 @@ func pqInfo(pq *engine.PreparedQuery, h *engine.Handle, version uint64) queryInf
 	})
 }
 
-func handleRegister(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Strict {
@@ -129,7 +138,7 @@ func handleRegister(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 		// serving). Tractability depends only on (query, order, FDs),
 		// and the built structure lands in the engine cache, so the
 		// Register below reuses it.
-		h, err := e.Prepare(req.spec())
+		h, err := s.e.PrepareCtx(r.Context(), req.spec())
 		if err != nil {
 			failErr(w, err)
 			return
@@ -140,25 +149,25 @@ func handleRegister(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pq, err := e.Register(req.Name, req.spec())
+	pq, err := s.e.Register(req.Name, req.spec())
 	if err != nil {
 		failErr(w, err)
 		return
 	}
-	h, err := pq.Acquire()
+	h, err := pq.AcquireCtx(r.Context())
 	if err != nil {
 		failErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, pqInfo(pq, h, e.Version()))
+	writeJSON(w, http.StatusCreated, pqInfo(pq, h, s.e.Version()))
 }
 
 type listResponse struct {
 	Queries []queryInfo `json:"queries"`
 }
 
-func handleList(e *engine.Engine, w http.ResponseWriter, _ *http.Request) {
-	infos := e.ListPrepared()
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.e.ListPrepared()
 	resp := listResponse{Queries: make([]queryInfo, len(infos))}
 	for i, pi := range infos {
 		resp.Queries[i] = infoOf(pi)
@@ -167,8 +176,8 @@ func handleList(e *engine.Engine, w http.ResponseWriter, _ *http.Request) {
 }
 
 // prepared resolves {name} or writes a 404.
-func prepared(e *engine.Engine, w http.ResponseWriter, r *http.Request) (*engine.PreparedQuery, bool) {
-	pq, err := e.Prepared(r.PathValue("name"))
+func (s *server) prepared(w http.ResponseWriter, r *http.Request) (*engine.PreparedQuery, bool) {
+	pq, err := s.e.Prepared(r.PathValue("name"))
 	if err != nil {
 		failErr(w, err)
 		return nil, false
@@ -176,22 +185,22 @@ func prepared(e *engine.Engine, w http.ResponseWriter, r *http.Request) (*engine
 	return pq, true
 }
 
-func handleGetQuery(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
-	h, err := pq.Acquire()
+	h, err := s.acquireRead(r.Context(), pq)
 	if err != nil {
 		failErr(w, err)
 		return
 	}
-	reply(w, pqInfo(pq, h, e.Version()))
+	reply(w, pqInfo(pq, h, h.Version()))
 }
 
-func handleEvict(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !e.Evict(name) {
+	if !s.e.Evict(name) {
 		failErr(w, fmt.Errorf("%w: %q", engine.ErrNotPrepared, name))
 		return
 	}
@@ -202,21 +211,33 @@ type v1AccessRequest struct {
 	Ks []int64 `json:"ks"`
 }
 
-func handleV1Access(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleV1Access(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
 	var req v1AccessRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	h, err := pq.Acquire()
+	h, err := s.acquireRead(r.Context(), pq)
 	if err != nil {
 		failErr(w, err)
 		return
 	}
-	reply(w, buildAccessResponse(h, req.Ks))
+	if s.coal == nil {
+		reply(w, buildAccessResponse(h, req.Ks))
+		return
+	}
+	key := coalesceKey("access", pq.ID(), h.Version(), req.Ks...)
+	body, err := s.coal.do(key, func() ([]byte, error) {
+		return encodeJSON(buildAccessResponse(h, req.Ks))
+	})
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, body)
 }
 
 type v1RangeRequest struct {
@@ -224,32 +245,57 @@ type v1RangeRequest struct {
 	K1 int64 `json:"k1"`
 }
 
-func handleV1Range(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleV1Range(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
 	var req v1RangeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.K1-req.K0 > maxRange {
 		fail(w, http.StatusBadRequest, fmt.Errorf("serve: range wider than %d; page the request", maxRange))
 		return
 	}
-	h, err := pq.Acquire()
+	h, err := s.acquireRead(r.Context(), pq)
 	if err != nil {
 		failErr(w, err)
 		return
 	}
+	if s.coal == nil {
+		s.writeRange(w, h, req.K0, req.K1)
+		return
+	}
+	key := coalesceKey("range", pq.ID(), h.Version(), req.K0, req.K1)
+	body, err := s.coal.do(key, func() ([]byte, error) {
+		flatP := tuplePool.Get().(*[]values.Value)
+		flat, err := h.AccessRange((*flatP)[:0], req.K0, req.K1)
+		if err != nil {
+			putTupleBuf(flatP, flat)
+			return nil, err
+		}
+		b, err := encodeJSON(buildRangeResponse(h, flat, req.K0, req.K1))
+		putTupleBuf(flatP, flat)
+		return b, err
+	})
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, body)
+}
+
+// writeRange is the uncoalesced /range body path.
+func (s *server) writeRange(w http.ResponseWriter, h *engine.Handle, k0, k1 int64) {
 	flatP := tuplePool.Get().(*[]values.Value)
-	flat, err := h.AccessRange((*flatP)[:0], req.K0, req.K1)
+	flat, err := h.AccessRange((*flatP)[:0], k0, k1)
 	if err != nil {
 		putTupleBuf(flatP, flat)
 		failErr(w, err)
 		return
 	}
-	reply(w, buildRangeResponse(h, flat, req.K0, req.K1))
+	reply(w, buildRangeResponse(h, flat, k0, k1))
 	putTupleBuf(flatP, flat)
 }
 
@@ -257,13 +303,13 @@ type v1SelectRequest struct {
 	K int64 `json:"k"`
 }
 
-func handleV1Select(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleV1Select(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
 	var req v1SelectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tuple, err := pq.Select(req.K) // registration-time parse, no re-parsing
@@ -274,8 +320,8 @@ func handleV1Select(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	reply(w, selectResponse{K: req.K, Tuple: tuple})
 }
 
-func handleV1Count(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleV1Count(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
@@ -283,7 +329,7 @@ func handleV1Count(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	// in O(1) — no re-parse, no counting pass (and, unlike the legacy
 	// /count, no free-connex requirement: the materialized fallback
 	// counts too).
-	h, err := pq.Acquire()
+	h, err := s.acquireRead(r.Context(), pq)
 	if err != nil {
 		failErr(w, err)
 		return
@@ -295,13 +341,13 @@ type v1ClassifyRequest struct {
 	Problem string `json:"problem"`
 }
 
-func handleV1Classify(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleV1Classify(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
 	var req v1ClassifyRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Problem == "" {
@@ -327,13 +373,13 @@ type cursorResponse struct {
 	Width  int    `json:"width"`
 }
 
-func handleCursorCreate(e *engine.Engine, st *cursorStore, w http.ResponseWriter, r *http.Request) {
-	pq, ok := prepared(e, w, r)
+func (s *server) handleCursorCreate(w http.ResponseWriter, r *http.Request) {
+	pq, ok := s.prepared(w, r)
 	if !ok {
 		return
 	}
 	var req cursorRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	cur, err := pq.Cursor()
@@ -345,7 +391,7 @@ func handleCursorCreate(e *engine.Engine, st *cursorStore, w http.ResponseWriter
 		failErr(w, err)
 		return
 	}
-	sc, err := st.create(pq.ID().Name, cur)
+	sc, err := s.st.create(pq.ID().Name, cur)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, err)
 		return
@@ -370,9 +416,9 @@ type cursorNextResponse struct {
 }
 
 // cursorByID resolves {id} or writes a 404.
-func cursorByID(st *cursorStore, w http.ResponseWriter, r *http.Request) (*serverCursor, bool) {
+func (s *server) cursorByID(w http.ResponseWriter, r *http.Request) (*serverCursor, bool) {
 	id := r.PathValue("id")
-	sc := st.get(id)
+	sc := s.st.get(id)
 	if sc == nil {
 		failErr(w, fmt.Errorf("%w: cursor %q", engine.ErrNotPrepared, id))
 		return nil, false
@@ -380,8 +426,8 @@ func cursorByID(st *cursorStore, w http.ResponseWriter, r *http.Request) (*serve
 	return sc, true
 }
 
-func handleCursorNext(st *cursorStore, w http.ResponseWriter, r *http.Request) {
-	sc, ok := cursorByID(st, w, r)
+func (s *server) handleCursorNext(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.cursorByID(w, r)
 	if !ok {
 		return
 	}
@@ -400,14 +446,14 @@ func handleCursorNext(st *cursorStore, w http.ResponseWriter, r *http.Request) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if wantsNDJSON(r) {
-		streamNDJSON(st, sc, w, n)
+		s.streamNDJSON(sc, w, n)
 		return
 	}
 	flatP := tuplePool.Get().(*[]values.Value)
 	flat, emitted, err := sc.cur.NextN((*flatP)[:0], n)
 	if err != nil {
 		putTupleBuf(flatP, flat)
-		cursorFail(st, sc, w, err)
+		s.cursorFail(sc, w, err)
 		return
 	}
 	width := sc.cur.Width()
@@ -426,9 +472,9 @@ func handleCursorNext(st *cursorStore, w http.ResponseWriter, r *http.Request) {
 // cursorFail reports a cursor error, dropping cursors that can never
 // answer again (invalidated by mutation) so the store does not pin
 // their handles.
-func cursorFail(st *cursorStore, sc *serverCursor, w http.ResponseWriter, err error) {
+func (s *server) cursorFail(sc *serverCursor, w http.ResponseWriter, err error) {
 	if errors.Is(err, engine.ErrCursorInvalidated) {
-		st.remove(sc.id)
+		s.st.remove(sc.id)
 	}
 	failErr(w, err)
 }
@@ -449,7 +495,13 @@ func wantsNDJSON(r *http.Request) bool {
 // The rows themselves then come from the cursor's immutable handle
 // snapshot, which cannot be invalidated mid-stream: a stream that
 // starts, finishes, at exactly end-pos rows.
-func streamNDJSON(st *cursorStore, sc *serverCursor, w http.ResponseWriter, n int) {
+//
+// Every chunk write carries a fresh deadline (Config.StreamWriteTimeout):
+// a reader that accepts no bytes for that long gets its stream cut,
+// so one stalled client cannot pin this cursor — and the epoch handle
+// it holds — indefinitely. That is backpressure by disconnection, the
+// only kind HTTP/1 offers.
+func (s *server) streamNDJSON(sc *serverCursor, w http.ResponseWriter, n int) {
 	cur := sc.cur
 	pos, total := cur.Pos(), cur.Total()
 	end := pos + int64(n)
@@ -459,7 +511,7 @@ func streamNDJSON(st *cursorStore, sc *serverCursor, w http.ResponseWriter, n in
 	// Bounds check + position commit in one step: a bad window fails
 	// here, before any header is written.
 	if _, err := cur.Seek(end, io.SeekStart); err != nil {
-		cursorFail(st, sc, w, err)
+		s.cursorFail(sc, w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -487,8 +539,11 @@ func streamNDJSON(st *cursorStore, sc *serverCursor, w http.ResponseWriter, n in
 		for i := 0; i < int(k1-pos); i++ {
 			b = appendRowNDJSON(b, flat[i*width:(i+1)*width])
 		}
+		if s.streamWrite > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite))
+		}
 		if _, err := w.Write(b); err != nil {
-			break // client went away
+			break // client went away (or stalled past the write deadline)
 		}
 		_ = rc.Flush()
 		pos = k1
@@ -514,9 +569,9 @@ func appendRowNDJSON(b []byte, row []values.Value) []byte {
 	return append(b, ']', '\n')
 }
 
-func handleCursorClose(st *cursorStore, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleCursorClose(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !st.remove(id) {
+	if !s.st.remove(id) {
 		failErr(w, fmt.Errorf("%w: cursor %q", engine.ErrNotPrepared, id))
 		return
 	}

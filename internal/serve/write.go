@@ -17,9 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"rankedaccess/internal/delta"
-	"rankedaccess/internal/engine"
 	"rankedaccess/internal/values"
 )
 
@@ -46,9 +46,15 @@ type writeResponse struct {
 	Deleted  int `json:"deleted"`
 }
 
-func handleWrite(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	// A degraded engine (broken WAL, or an overlay backlog at the hard
+	// rebuild threshold) sheds writes so it can catch up; reads keep
+	// flowing from published epochs meanwhile.
+	if s.shedWrite(w) {
+		return
+	}
 	var req writeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	var muts []delta.Mutation
@@ -79,11 +85,18 @@ func handleWrite(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	if len(muts) == 0 {
 		// An empty batch publishes nothing: echo the current version.
-		reply(w, writeResponse{Version: e.Version()})
+		reply(w, writeResponse{Version: s.e.Version()})
 		return
 	}
-	v, err := e.ApplyBatch(muts)
+	v, err := s.e.ApplyBatch(muts)
 	if err != nil {
+		// A broken WAL fails every write until repair: that is server
+		// overload/unavailability, not a bad request.
+		if errors.Is(err, delta.ErrWALBroken) {
+			setRetryAfter(w, time.Second)
+			fail(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		fail(w, http.StatusBadRequest, err)
 		return
 	}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"rankedaccess/internal/faultfs"
 )
 
 // Ext is the snapshot file extension.
@@ -123,17 +125,23 @@ func CleanTmp(dir string) {
 // name, so a reader (or a crash) never observes a partial snapshot; on
 // any error the temporary file is removed.
 func WriteFile(dir string, b *Builder) (name string, size int64, err error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteFileFS(faultfs.OS(), dir, b)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem, the chaos-test
+// seam (see internal/faultfs).
+func WriteFileFS(fsys faultfs.FS, dir string, b *Builder) (name string, size int64, err error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, err
 	}
-	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	tmp, err := fsys.CreateTemp(dir, tmpPrefix+"*")
 	if err != nil {
 		return "", 0, err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	size, err = b.WriteTo(tmp)
@@ -147,8 +155,8 @@ func WriteFile(dir string, b *Builder) (name string, size int64, err error) {
 		return "", 0, err
 	}
 	name = FileName(b.meta.EngineVersion, b.meta.CreatedUnixNano)
-	if err = os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp.Name())
+	if err = fsys.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp.Name())
 		return "", 0, err
 	}
 	return name, size, nil

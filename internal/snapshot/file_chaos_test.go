@@ -1,0 +1,78 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"rankedaccess/internal/faultfs"
+)
+
+// Checkpoint atomicity under injected faults: whatever step of
+// write-temp → sync → close → rename fails, the directory must never
+// contain a partial snapshot under a canonical name, and a retry (the
+// fault is one-shot) must produce a complete, listable one.
+
+func chaosBuilder() *Builder {
+	b := NewBuilder(7, 123456789)
+	b.AddRelation("R", 2, []int64{1, 10, 2, 20, 3, 30})
+	b.AddRelation("S", 1, []int64{10, 20})
+	return b
+}
+
+func TestChaosWriteFileAtomicUnderFaults(t *testing.T) {
+	faults := []faultfs.Fault{
+		{Op: faultfs.OpCreateTemp, Nth: 1, Mode: faultfs.ModeFail},
+		{Op: faultfs.OpWrite, Nth: 1, Mode: faultfs.ModeFail},
+		{Op: faultfs.OpWrite, Nth: 1, Mode: faultfs.ModeShortWrite},
+		{Op: faultfs.OpSync, Nth: 1, Mode: faultfs.ModeFail},
+		{Op: faultfs.OpRename, Nth: 1, Mode: faultfs.ModeFail},
+	}
+	for i, f := range faults {
+		t.Run(fmt.Sprintf("%d-%s", i, f.Op), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultfs.NewInjector(faultfs.OS())
+			inj.Inject(f)
+			if _, _, err := WriteFileFS(inj, dir, chaosBuilder()); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("WriteFileFS under %v: err = %v, want injected", f, err)
+			}
+			// No canonical snapshot may exist — a reader listing the
+			// directory must see nothing from the failed checkpoint.
+			infos, err := List(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != 0 {
+				t.Fatalf("failed checkpoint left a listable snapshot: %v", infos)
+			}
+			// Retry on the same injector: the one-shot fault has fired,
+			// so the checkpoint must complete and decode cleanly.
+			name, size, err := WriteFileFS(inj, dir, chaosBuilder())
+			if err != nil {
+				t.Fatalf("retry after fault: %v", err)
+			}
+			if size <= 0 {
+				t.Fatalf("retry wrote %d bytes", size)
+			}
+			m, err := Open(dir + "/" + name)
+			if err != nil {
+				t.Fatalf("retried snapshot does not decode: %v", err)
+			}
+			m.Close()
+			// Stranded temp files are allowed only transiently; the
+			// failed attempt must have cleaned up after itself (rename
+			// failure included — WriteFileFS removes the temp).
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range ents {
+				if strings.HasPrefix(ent.Name(), tmpPrefix) {
+					t.Fatalf("stranded temp file %q after failed checkpoint", ent.Name())
+				}
+			}
+		})
+	}
+}
