@@ -135,7 +135,7 @@ type Client struct {
 }
 
 // Dial validates the base URL (e.g. "http://localhost:8080") and pings
-// the server's /stats endpoint to fail fast on an unreachable or
+// the server's /v1/stats endpoint to fail fast on an unreachable or
 // foreign service. Pass a nil opts for defaults.
 func Dial(ctx context.Context, base string, opts *Options) (*Client, error) {
 	u, err := url.Parse(base)
@@ -258,8 +258,11 @@ func decodeAPIError(resp *http.Response) error {
 	return &APIError{Status: resp.StatusCode, Message: msg}
 }
 
-// Stats mirrors GET /stats.
+// Stats mirrors GET /v1/stats — the full typed counter surface the
+// server exports, field for field. A schema test on the server side
+// keeps the two in lockstep.
 type Stats struct {
+	// Structure-cache and registry counters.
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
@@ -269,6 +272,11 @@ type Stats struct {
 	RegistryHits uint64 `json:"registry_hits"`
 	Reprepares   uint64 `json:"reprepares"`
 	OpenCursors  int    `json:"open_cursors"`
+	// Snapshot counters: checkpoints written, restores applied, and
+	// structures the last warm start rehydrated from a mapped snapshot.
+	Checkpoints    uint64 `json:"snapshot_checkpoints"`
+	Restores       uint64 `json:"snapshot_restores"`
+	WarmStructures uint64 `json:"warm_structures"`
 	// Write-path counters: mutation batches applied, and how stale
 	// structures caught up — republished unchanged, advanced by delta
 	// overlay, or forced to rebuild — plus background re-preprocesses
@@ -281,17 +289,34 @@ type Stats struct {
 	// WALErrors counts absorbed durable-WAL append failures; nonzero
 	// means the disk under the server's WAL is unhealthy.
 	WALErrors uint64 `json:"wal_errors"`
+	// Overload counters: requests shed by the rate limiter (429) and
+	// the concurrency gate (503), current gate occupancy and queue
+	// depth, coalescer traffic, reads served from a stale epoch while
+	// degraded, and writes refused while degraded.
+	Shed429        uint64 `json:"shed_rate_limited"`
+	Shed503        uint64 `json:"shed_overload"`
+	InFlight       int    `json:"in_flight"`
+	QueueDepth     int    `json:"queue_depth"`
+	CoalesceHits   uint64 `json:"coalesce_hits"`
+	CoalesceMisses uint64 `json:"coalesce_misses"`
+	DegradedReads  uint64 `json:"degraded_reads"`
+	WriteSheds     uint64 `json:"write_sheds"`
+	// Degraded is true while the engine sheds writes to catch up.
+	Degraded bool `json:"degraded"`
+	// DeprecatedRequests counts requests answered through deprecated
+	// legacy routes (the unversioned shims over /v1).
+	DeprecatedRequests uint64 `json:"deprecated_requests"`
 }
 
-// Stats fetches the server's counters.
+// Stats fetches the server's counters via GET /v1/stats.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
-	_, err := c.do(ctx, http.MethodGet, "/stats", nil, &st, "")
+	_, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st, "")
 	return st, err
 }
 
-// Load appends rows to the named relation via POST /load and returns
-// the count loaded.
+// Load appends rows to the named relation via POST /v1/instance/load
+// and returns the count loaded.
 func (c *Client) Load(ctx context.Context, relation string, rows [][]Value) (int, error) {
 	in := struct {
 		Relation string    `json:"relation"`
@@ -300,7 +325,7 @@ func (c *Client) Load(ctx context.Context, relation string, rows [][]Value) (int
 	var out struct {
 		Loaded int `json:"loaded"`
 	}
-	_, err := c.do(ctx, http.MethodPost, "/load", in, &out, "")
+	_, err := c.do(ctx, http.MethodPost, "/v1/instance/load", in, &out, "")
 	return out.Loaded, err
 }
 

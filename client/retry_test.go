@@ -10,14 +10,14 @@ import (
 	"time"
 )
 
-// shedServer answers /stats (so Dial succeeds) and sheds the first
+// shedServer answers /v1/stats (so Dial succeeds) and sheds the first
 // fail requests to every other path with the given status before
 // letting them through.
 func shedServer(t *testing.T, fail int64, status int, retryAfter string) (*Client, *atomic.Int64) {
 	t.Helper()
 	var attempts atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/stats" {
+		if r.URL.Path == "/v1/stats" {
 			w.Write([]byte("{}\n"))
 			return
 		}
@@ -77,7 +77,7 @@ func TestRetriesExhaustedSurfaceTheShed(t *testing.T) {
 func TestNegativeMaxRetriesDisables(t *testing.T) {
 	var attempts atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/stats" {
+		if r.URL.Path == "/v1/stats" {
 			w.Write([]byte("{}\n"))
 			return
 		}

@@ -1,0 +1,302 @@
+// Command dash is a terminal (and HTML) dashboard for a running serve
+// instance, built on nothing but the server's own observability
+// surface: it polls GET /metrics (Prometheus text) and GET /readyz and
+// renders the serving picture — QPS, latency quantiles, shed and
+// coalesce rates, epoch churn, WAL health — from counter deltas
+// between polls.
+//
+// Usage:
+//
+//	dash -addr http://localhost:8080            # live terminal view
+//	dash -addr http://localhost:8080 -once      # one snapshot, then exit (CI-friendly)
+//	dash -addr http://localhost:8080 -html dash.html  # also write an HTML snapshot each poll
+//
+// Rates and quantiles are computed over the polling interval (lifetime
+// totals on the first poll and under -once), so the view tracks what
+// the server is doing now, not since boot. The latency quantiles are
+// interpolated from the ra_http_request_duration_seconds histogram the
+// same way Prometheus's histogram_quantile does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rankedaccess/internal/metrics"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the serve instance")
+		interval = flag.Duration("interval", 2*time.Second, "polling interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit (exit 1 when the scrape fails)")
+		htmlOut  = flag.String("html", "", "also write an HTML snapshot to this file each poll")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	prev, err := scrape(hc, base)
+	if err != nil {
+		log.Fatalf("dash: %v", err)
+	}
+	if *once {
+		render(os.Stdout, base, nil, prev)
+		if *htmlOut != "" {
+			writeHTML(*htmlOut, base, nil, prev)
+		}
+		return
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := scrape(hc, base)
+		if err != nil {
+			fmt.Printf("dash: scrape failed: %v\n", err)
+			continue
+		}
+		fmt.Print("\033[H\033[2J") // clear terminal between polls
+		render(os.Stdout, base, prev, cur)
+		if *htmlOut != "" {
+			writeHTML(*htmlOut, base, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// snap is one poll: the parsed scrape plus the readiness probe.
+type snap struct {
+	at      time.Time
+	samples []metrics.Sample
+	ready   bool
+	readyAt string // the probe's body or error, for display when not ready
+}
+
+func scrape(hc *http.Client, base string) (*snap, error) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	samples, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse /metrics: %w", err)
+	}
+	s := &snap{at: time.Now(), samples: samples}
+	if r, err := hc.Get(base + "/readyz"); err != nil {
+		s.readyAt = err.Error()
+	} else {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<12))
+		r.Body.Close()
+		s.ready = r.StatusCode == http.StatusOK
+		s.readyAt = strings.TrimSpace(string(body))
+	}
+	return s, nil
+}
+
+// sum adds every sample of a family across label sets.
+func (s *snap) sum(name string) float64 {
+	var t float64
+	for _, sm := range s.samples {
+		if sm.Name == name {
+			t += sm.Value
+		}
+	}
+	return t
+}
+
+// view is the digest both renderers draw: every rate is per second
+// over the window between the two snaps (lifetime when prev is nil).
+type view struct {
+	window   time.Duration
+	lifetime bool
+
+	qps, p50, p95, p99    float64
+	inFlight              float64
+	shed429PS, shed503PS  float64
+	coalescePct           float64 // hit share of coalescer traffic, 0-100
+	deprecatedPS          float64
+	epochsPS, rebuildsPS  float64
+	bgRebuilds            float64
+	walBatches, walErrors float64
+	version, tuples       float64
+	degraded              bool
+	ready                 bool
+	readyDetail           string
+}
+
+func digest(prev, cur *snap) view {
+	v := view{lifetime: prev == nil, ready: cur.ready, readyDetail: cur.readyAt}
+	d := func(name string) float64 {
+		if prev == nil {
+			return cur.sum(name)
+		}
+		return cur.sum(name) - prev.sum(name)
+	}
+	window := time.Second
+	if prev != nil {
+		window = cur.at.Sub(prev.at)
+	}
+	v.window = window
+	secs := window.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	v.qps = d("ra_http_requests_total") / secs
+	if v.lifetime {
+		v.qps = 0 // lifetime QPS over unknown uptime is a lie; show totals instead
+	}
+	v.p50 = quantile(prev, cur, 0.50)
+	v.p95 = quantile(prev, cur, 0.95)
+	v.p99 = quantile(prev, cur, 0.99)
+	v.inFlight = cur.sum("ra_http_in_flight")
+	v.shed429PS = d("ra_serve_shed_rate_limited_total") / secs
+	v.shed503PS = d("ra_serve_shed_overload_total") / secs
+	hits, misses := d("ra_serve_coalesce_hits_total"), d("ra_serve_coalesce_misses_total")
+	if hits+misses > 0 {
+		v.coalescePct = 100 * hits / (hits + misses)
+	}
+	v.deprecatedPS = d("ra_http_deprecated_requests_sum") / secs
+	v.epochsPS = d("ra_engine_delta_epochs_total") / secs
+	v.rebuildsPS = (d("ra_engine_delta_rebuilds_total") + d("ra_engine_bg_rebuilds_total")) / secs
+	v.bgRebuilds = cur.sum("ra_engine_bg_rebuilding")
+	v.walBatches = cur.sum("ra_engine_wal_batches_total")
+	v.walErrors = cur.sum("ra_engine_wal_errors_total")
+	v.version = cur.sum("ra_engine_instance_version")
+	v.tuples = cur.sum("ra_engine_tuples")
+	v.degraded = cur.sum("ra_engine_degraded") > 0
+	return v
+}
+
+// quantile interpolates a latency quantile from the request-duration
+// histogram, buckets summed across endpoints and differenced across
+// the window (histogram_quantile semantics: linear within a bucket).
+func quantile(prev, cur *snap, q float64) float64 {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	byLE := map[float64]float64{}
+	add := func(s *snap, sign float64) {
+		for _, sm := range s.samples {
+			if sm.Name != "ra_http_request_duration_seconds_bucket" {
+				continue
+			}
+			le, err := parseLE(sm.Label("le"))
+			if err != nil {
+				continue
+			}
+			byLE[le] += sign * sm.Value
+		}
+	}
+	add(cur, 1)
+	if prev != nil {
+		add(prev, -1)
+	}
+	buckets := make([]bucket, 0, len(byLE))
+	for le, c := range byLE {
+		buckets = append(buckets, bucket{le, c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].count
+	if total <= 0 {
+		return 0
+	}
+	rank := q * total
+	lower, lowerCount := 0.0, 0.0
+	for _, b := range buckets {
+		if b.count >= rank {
+			if math.IsInf(b.le, 1) {
+				return lower // no upper bound to interpolate toward
+			}
+			if b.count == lowerCount {
+				return b.le
+			}
+			return lower + (b.le-lower)*(rank-lowerCount)/(b.count-lowerCount)
+		}
+		lower, lowerCount = b.le, b.count
+	}
+	return buckets[len(buckets)-1].le
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func render(w io.Writer, base string, prev, cur *snap) {
+	v := digest(prev, cur)
+	scope := fmt.Sprintf("last %s", v.window.Round(time.Millisecond))
+	if v.lifetime {
+		scope = "since boot"
+	}
+	fmt.Fprintf(w, "ra dash — %s  (%s)\n", base, scope)
+	ready := "ready: ok"
+	if !v.ready {
+		ready = "ready: NOT READY — " + v.readyDetail
+	}
+	fmt.Fprintln(w, ready)
+	if v.lifetime {
+		fmt.Fprintf(w, "requests  total %.0f   p50 %s  p95 %s  p99 %s   in-flight %.0f\n",
+			cur.sum("ra_http_requests_total"), ms(v.p50), ms(v.p95), ms(v.p99), v.inFlight)
+	} else {
+		fmt.Fprintf(w, "requests  %.1f/s   p50 %s  p95 %s  p99 %s   in-flight %.0f\n",
+			v.qps, ms(v.p50), ms(v.p95), ms(v.p99), v.inFlight)
+	}
+	fmt.Fprintf(w, "shed      %.1f/s rate-limited, %.1f/s overload   coalesce hit %.0f%%   deprecated %.1f/s\n",
+		v.shed429PS, v.shed503PS, v.coalescePct, v.deprecatedPS)
+	fmt.Fprintf(w, "epochs    %.1f/s overlay, %.1f/s rebuilt   bg rebuilding %.0f\n",
+		v.epochsPS, v.rebuildsPS, v.bgRebuilds)
+	wal := "healthy"
+	if v.walErrors > 0 {
+		wal = fmt.Sprintf("%.0f ERRORS", v.walErrors)
+	}
+	degraded := "no"
+	if v.degraded {
+		degraded = "YES"
+	}
+	fmt.Fprintf(w, "engine    version %.0f   tuples %.0f   wal %.0f batches (%s)   degraded: %s\n",
+		v.version, v.tuples, v.walBatches, wal, degraded)
+}
+
+func ms(seconds float64) string {
+	if seconds <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", seconds*1e3)
+}
+
+// writeHTML renders the same digest as a standalone page (meta-refresh
+// keeps a browser tab live while dash keeps rewriting the file).
+func writeHTML(path, base string, prev, cur *snap) {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<meta http-equiv=\"refresh\" content=\"2\">\n")
+	b.WriteString("<title>ra dash</title>\n")
+	b.WriteString("<style>body{font:14px monospace;background:#111;color:#ddd;padding:2em}" +
+		"pre{font:inherit}.bad{color:#f66}</style></head><body>\n<pre>")
+	var text strings.Builder
+	render(&text, base, prev, cur)
+	b.WriteString(html.EscapeString(text.String()))
+	b.WriteString("</pre>\n</body></html>\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		log.Printf("dash: write %s: %v", path, err)
+	}
+}

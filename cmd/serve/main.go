@@ -23,6 +23,14 @@
 // (readiness: WAL healthy, rebuild backlog below the hard limit,
 // snapshot directory writable) report the serving state.
 //
+// Observability: GET /metrics serves every engine and serving counter
+// in the Prometheus text format (scrape it, or point cmd/dash at the
+// server); -log-requests emits one JSON log record per request to
+// stderr, with request ids that thread through to engine build and
+// rebuild events; -ops-addr starts a second, private listener carrying
+// /debug/pprof plus /metrics and the health probes — keep it on
+// loopback or an internal interface, never the public address.
+//
 // With -snapshot-dir the server warm-starts from the newest snapshot in
 // the directory (instance, built structures, and prepared-query
 // registry restored in milliseconds, structures mapped zero-copy; -data
@@ -49,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -87,6 +96,10 @@ func main() {
 		maxQueue    = flag.Int("max-queue", -1, "max requests waiting for a slot (-1 = -max-concurrent)")
 		streamWrite = flag.Duration("stream-write-timeout", 0, "per-chunk NDJSON write deadline so stalled readers cannot pin an epoch (0 = 30s, negative disables)")
 		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes, 413 beyond it (0 = 256 MiB)")
+
+		opsAddr     = flag.String("ops-addr", "", "operator listener (pprof + /metrics + health probes) on a separate, private address; off when empty")
+		logRequests = flag.Bool("log-requests", false, "emit one JSON log record per request to stderr (request ids propagate into engine events)")
+		logMaxPS    = flag.Int("log-max-per-sec", 0, "request-log records kept per second before sampling kicks in (0 = 500, negative disables sampling)")
 	)
 	flag.Parse()
 	par.SetLimit(*workers)
@@ -94,12 +107,25 @@ func main() {
 		log.Fatal("serve: -checkpoint-every requires -snapshot-dir")
 	}
 
+	// One structured logger feeds both layers: the serve middleware's
+	// per-request records and the engine's build/rebuild/WAL events,
+	// joined by the request ids the middleware propagates via context.
+	var appLog *slog.Logger
+	if *logRequests {
+		appLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	var e *engine.Engine
 	warm := false
 	if *snapDir != "" {
+		// First boot against a fresh directory: the WAL is created inside
+		// it immediately, so the directory itself must exist up front.
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			log.Fatalf("serve: snapshot dir: %v", err)
+		}
 		snapshot.CleanTmp(*snapDir) // sweep temp files a crashed checkpoint stranded
 		var err error
-		e, warm, err = engine.Open(*snapDir, engine.Options{CacheSize: *cache})
+		e, warm, err = engine.Open(*snapDir, engine.Options{CacheSize: *cache, Logger: appLog})
 		if err != nil {
 			log.Fatalf("serve: warm start: %v", err)
 		}
@@ -109,7 +135,7 @@ func main() {
 				*snapDir, st.Tuples, st.WarmStructures, st.Version)
 		}
 	} else {
-		e = engine.New(database.NewInstance(), engine.Options{CacheSize: *cache})
+		e = engine.New(database.NewInstance(), engine.Options{CacheSize: *cache, Logger: appLog})
 	}
 	switch {
 	case *dataDir != "" && warm:
@@ -126,23 +152,45 @@ func main() {
 		log.Printf("serve: loaded %d relations from %s", loaded, *dataDir)
 	}
 
+	api := serve.NewHandlerWith(e, serve.Config{
+		SnapshotDir:        *snapDir,
+		RequestTimeout:     *reqTimeout,
+		MaxBodyBytes:       *maxBody,
+		RatePerSec:         *rateLimit,
+		RateBurst:          *rateBurst,
+		MaxConcurrent:      *maxConc,
+		MaxQueue:           *maxQueue,
+		StreamWriteTimeout: *streamWrite,
+		RequestLog:         appLog,
+		LogMaxPerSec:       *logMaxPS,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: serve.NewHandlerWith(e, serve.Config{
-			SnapshotDir:        *snapDir,
-			RequestTimeout:     *reqTimeout,
-			MaxBodyBytes:       *maxBody,
-			RatePerSec:         *rateLimit,
-			RateBurst:          *rateBurst,
-			MaxConcurrent:      *maxConc,
-			MaxQueue:           *maxQueue,
-			StreamWriteTimeout: *streamWrite,
-		}),
+		Addr:    *addr,
+		Handler: api,
 		// Bound slow-header clients (slowloris) and idle keep-alive
 		// connections; no overall write timeout, since NDJSON cursor
 		// streams are legitimately long-lived.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// The ops listener carries pprof (plus /metrics and the health
+	// probes) on its own, private address — it never shares the public
+	// port, so no client can reach a profile endpoint. It serves until
+	// the process exits; profiles during drain are exactly when an
+	// operator wants them.
+	if *opsAddr != "" {
+		ops := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           serve.NewOpsHandler(api),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("serve: ops listener (pprof, metrics) on %s", *opsAddr)
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("serve: ops listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,10 @@
 package engine
 
 import (
+	"context"
+	"log/slog"
+	"time"
+
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/delta"
 	"rankedaccess/internal/order"
@@ -209,12 +213,14 @@ func (e *Engine) spawnRebuild(s Spec, key string) {
 	e.bg.Add(1)
 	go func() {
 		defer e.bg.Done()
+		start := time.Now()
 		e.mu.RLock()
 		v := e.version
 		// Build under the engine's lifetime context: Close abandons the
 		// rebuild at the next wave boundary instead of waiting it out.
 		h, err := e.build(e.life, s)
 		e.mu.RUnlock()
+		swapped := false
 		e.cmu.Lock()
 		delete(e.bgRebuilding, key)
 		if err == nil {
@@ -222,8 +228,22 @@ func (e *Engine) spawnRebuild(s Spec, key string) {
 			if cur := e.cache.get(key); cur == nil || cur.version <= v {
 				e.cache.add(key, h)
 				e.bgRebuilds.Add(1)
+				swapped = true
 			}
 		}
 		e.cmu.Unlock()
+		if e.log != nil {
+			level, attrs := slog.LevelInfo, []slog.Attr{
+				slog.String("query", s.Query),
+				slog.Uint64("version", v),
+				slog.Bool("swapped", swapped),
+				slog.Duration("duration", time.Since(start)),
+			}
+			if err != nil {
+				level = slog.LevelWarn
+				attrs = append(attrs, slog.String("error", err.Error()))
+			}
+			e.log.LogAttrs(context.Background(), level, "engine: background rebuild", attrs...)
+		}
 	}()
 }

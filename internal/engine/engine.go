@@ -40,10 +40,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/classify"
@@ -53,6 +55,7 @@ import (
 	"rankedaccess/internal/faultfs"
 	"rankedaccess/internal/fd"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/reqid"
 	"rankedaccess/internal/selection"
 	"rankedaccess/internal/shard"
 	"rankedaccess/internal/values"
@@ -95,6 +98,14 @@ type Options struct {
 	// on; faultfs.OS() when nil. Chaos tests substitute a
 	// faultfs.Injector here.
 	FS faultfs.FS
+	// Logger, when non-nil, receives structured events from the
+	// engine's slow paths — synchronous structure builds, background
+	// rebuilds, WAL append failures. Build events carry the request id
+	// of the triggering request (internal/reqid) when the context has
+	// one, so operators can join an expensive build to the request that
+	// paid for it. Nil disables engine logging; the hot probe paths
+	// never log either way.
+	Logger *slog.Logger
 }
 
 // Spec identifies a ranked-access request against the engine's instance.
@@ -489,6 +500,10 @@ type Engine struct {
 	life context.Context
 	stop context.CancelFunc
 
+	// log receives slow-path events (see Options.Logger); nil means
+	// logging is off.
+	log *slog.Logger
+
 	// rmu guards the named-query registry.
 	rmu      sync.Mutex
 	registry map[string]*PreparedQuery
@@ -540,6 +555,7 @@ func New(in *database.Instance, opts Options) *Engine {
 		fs:           fsys,
 		life:         life,
 		stop:         stop,
+		log:          opts.Logger,
 		cache:        newLRU(size),
 		flights:      make(map[string]*flight),
 		bgRebuilding: make(map[string]bool),
@@ -571,6 +587,10 @@ func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
 	b := delta.Batch{Seq: e.version + 1, Muts: muts}
 	if e.wal != nil {
 		if err := e.wal.Append(b); err != nil {
+			if e.log != nil {
+				e.log.LogAttrs(context.Background(), slog.LevelError, "engine: wal append failed",
+					slog.Uint64("seq", b.Seq), slog.String("error", err.Error()))
+			}
 			return 0, fmt.Errorf("engine: %w", err)
 		}
 	}
@@ -714,6 +734,10 @@ func (e *Engine) Mutate(f func(*database.Instance)) {
 			// (Stats.WALErrors) instead of dropping it on the floor.
 			if err := e.wal.Append(b); err != nil {
 				e.walErrors.Add(1)
+				if e.log != nil {
+					e.log.LogAttrs(context.Background(), slog.LevelWarn, "engine: wal append failed (absorbed)",
+						slog.Uint64("seq", b.Seq), slog.String("error", err.Error()))
+				}
 			}
 		}
 		e.wlog.Append(b)
@@ -1027,10 +1051,12 @@ func (e *Engine) prepareOnce(ctx context.Context, s Spec, key string) (*Handle, 
 		e.hits.Add(1)
 	} else {
 		e.misses.Add(1)
+		start := time.Now()
 		fl.h, fl.err = e.build(ctx, s)
 		if fl.err == nil {
 			fl.h.version = version
 		}
+		e.logBuild(ctx, s, version, stale != nil, time.Since(start), fl.err)
 	}
 
 	e.cmu.Lock()
@@ -1049,6 +1075,33 @@ func (e *Engine) prepareOnce(ctx context.Context, s Spec, key string) (*Handle, 
 	e.cmu.Unlock()
 	close(fl.done)
 	return fl.h, version, false, fl.err
+}
+
+// logBuild emits one structured event for a synchronous structure
+// build (a cache miss, or a stale handle that could not catch up via
+// the delta overlay), tagged with the request id of the triggering
+// request when its context carries one — that join is what lets an
+// operator attribute a latency spike to the build that caused it.
+func (e *Engine) logBuild(ctx context.Context, s Spec, version uint64, rebuild bool, d time.Duration, err error) {
+	if e.log == nil {
+		return
+	}
+	level := slog.LevelInfo
+	attrs := make([]slog.Attr, 0, 6)
+	attrs = append(attrs,
+		slog.String("query", s.Query),
+		slog.Uint64("version", version),
+		slog.Bool("rebuild", rebuild),
+		slog.Duration("duration", d),
+	)
+	if id := reqid.From(ctx); id != "" {
+		attrs = append(attrs, slog.String("request_id", id))
+	}
+	if err != nil {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	e.log.LogAttrs(ctx, level, "engine: structure build", attrs...)
 }
 
 // build plans and constructs a structure; the caller holds mu.RLock, so

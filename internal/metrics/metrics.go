@@ -1,0 +1,472 @@
+// Package metrics is a dependency-free metrics core for the serving
+// tier: atomic counters, gauges, and fixed-bucket histograms collected
+// in a Registry and rendered in the Prometheus text exposition format
+// (version 0.0.4) for a scrape endpoint.
+//
+// The design constraints, in order:
+//
+//   - The hot path is Observe/Inc/Add on pre-registered metrics: pure
+//     atomic operations, zero allocations, no locks. Registration (the
+//     only locking, validating, allocating step) happens once, at mux
+//     construction time, never per request.
+//   - Label sets are fixed per series at registration, so cardinality
+//     is bounded by construction — there is deliberately no
+//     "WithLabelValues" that can mint series at request time.
+//   - Engine-owned counters that already exist elsewhere are exported
+//     by sampling functions (CounterFunc/GaugeFunc) evaluated at scrape
+//     time, instead of being mirrored into duplicate state.
+//
+// Rendering groups series of the same name into one family with a
+// single # HELP/# TYPE header, as the exposition format requires, in
+// first-registration order.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bounds in seconds:
+// 100µs to 10s, roughly logarithmic. The serving tier's probes are
+// O(log n) index lookups, so the floor sits well below a millisecond;
+// the ceiling covers cold preprocessing builds.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable up/down value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free and
+// allocation-free: one atomic add on the bucket plus a CAS loop on the
+// float sum. Bucket bounds are upper bounds in ascending order; an
+// implicit +Inf bucket catches the tail.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64   // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	// Linear scan: bucket counts are small (~16) and the loop is
+	// branch-predictable; a binary search buys nothing at this size.
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts by linear interpolation inside the bucket that holds the
+// target rank — the same estimate Prometheus's histogram_quantile
+// computes. It returns the highest finite bound when the rank lands in
+// the +Inf bucket, and 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			return lo + (b-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric kinds, as rendered in # TYPE lines.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one rendered time series (or histogram series group).
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+
+	c  *Counter
+	g  *Gauge
+	fn func() float64
+	h  *Histogram
+
+	// Pre-rendered histogram bucket label suffixes, one per bound plus
+	// +Inf, so a scrape does no float formatting for le labels.
+	bucketLabels []string
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, kind string
+	series           []*series
+	seen             map[string]bool // label-set dedup
+}
+
+// Registry collects metrics for one exposition endpoint.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or panics on misuse — registration is programmer
+// territory) a counter series. Labels are alternating key, value pairs
+// fixed for the series' lifetime.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{c: c}, labels)
+	return c
+}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{g: g}, labels)
+	return g
+}
+
+// CounterFunc registers a counter whose value is sampled by fn at
+// scrape time — for exporting counters owned elsewhere (engine stats)
+// without mirroring them.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, kindCounter, &series{fn: fn}, labels)
+}
+
+// GaugeFunc registers a gauge sampled by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, kindGauge, &series{fn: fn}, labels)
+}
+
+// Histogram registers a histogram series with the given upper bounds
+// (ascending; nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	s := &series{h: h}
+	// Pre-render the per-bucket label suffixes: the fixed labels plus
+	// le="bound", and le="+Inf" last.
+	for _, b := range bounds {
+		s.bucketLabels = append(s.bucketLabels, appendLabelSet(labels, "le", formatFloat(b)))
+	}
+	s.bucketLabels = append(s.bucketLabels, appendLabelSet(labels, "le", "+Inf"))
+	r.register(name, help, kindHistogram, s, labels)
+	return h
+}
+
+// register validates and files one series under its family.
+func (r *Registry) register(name, help, kind string, s *series, labels []string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %q", name, labels))
+	}
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) || labels[i] == "le" {
+			panic(fmt.Sprintf("metrics: %s: invalid label name %q", name, labels[i]))
+		}
+	}
+	s.labels = renderLabelSet(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, seen: make(map[string]bool)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if f.seen[s.labels] {
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", name, s.labels))
+	}
+	f.seen[s.labels] = true
+	f.series = append(f.series, s)
+}
+
+// WritePrometheus renders every family in the text exposition format.
+// Scrapes race concurrent Observes benignly: each atomic is read once,
+// so a histogram's sum and counts may straddle an observation — the
+// next scrape converges.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf := make([]byte, 0, 4096)
+	for _, name := range r.order {
+		f := r.families[name]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, escapeHelp(f.help)...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind...)
+		buf = append(buf, '\n')
+		for _, s := range f.series {
+			buf = s.render(buf, f.name)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// render appends one series' sample lines.
+func (s *series) render(buf []byte, name string) []byte {
+	switch {
+	case s.h != nil:
+		var cum uint64
+		for i := range s.h.counts {
+			cum += s.h.counts[i].Load()
+			buf = append(buf, name...)
+			buf = append(buf, "_bucket"...)
+			buf = append(buf, s.bucketLabels[i]...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, cum, 10)
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, name...)
+		buf = append(buf, "_sum"...)
+		buf = append(buf, s.labels...)
+		buf = append(buf, ' ')
+		buf = append(buf, formatFloat(s.h.Sum())...)
+		buf = append(buf, '\n')
+		buf = append(buf, name...)
+		buf = append(buf, "_count"...)
+		buf = append(buf, s.labels...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, cum, 10)
+		return append(buf, '\n')
+	case s.c != nil:
+		buf = append(buf, name...)
+		buf = append(buf, s.labels...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, s.c.Value(), 10)
+		return append(buf, '\n')
+	case s.g != nil:
+		buf = append(buf, name...)
+		buf = append(buf, s.labels...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, s.g.Value(), 10)
+		return append(buf, '\n')
+	default:
+		buf = append(buf, name...)
+		buf = append(buf, s.labels...)
+		buf = append(buf, ' ')
+		buf = append(buf, formatFloat(s.fn())...)
+		return append(buf, '\n')
+	}
+}
+
+// renderLabelSet renders alternating pairs as `{k="v",...}`; empty for
+// no labels.
+func renderLabelSet(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return appendLabelSet(labels[:len(labels)-2], labels[len(labels)-2], labels[len(labels)-1])
+}
+
+// appendLabelSet renders fixed pairs plus one extra pair (the
+// histogram le label, or the final pair of a plain set).
+func appendLabelSet(pairs []string, key, val string) string {
+	b := make([]byte, 0, 32)
+	b = append(b, '{')
+	for i := 0; i < len(pairs); i += 2 {
+		b = append(b, pairs[i]...)
+		b = append(b, '=', '"')
+		b = appendEscaped(b, pairs[i+1])
+		b = append(b, '"', ',')
+	}
+	b = append(b, key...)
+	b = append(b, '=', '"')
+	b = appendEscaped(b, val)
+	b = append(b, '"', '}')
+	return string(b)
+}
+
+// appendEscaped escapes a label value per the exposition format.
+func appendEscaped(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
+}
+
+// escapeHelp escapes a help string (backslash and newline only).
+func escapeHelp(h string) string {
+	out := make([]byte, 0, len(h))
+	for i := 0; i < len(h); i++ {
+		switch h[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, h[i])
+		}
+	}
+	return string(out)
+}
+
+// formatFloat renders a float the way the exposition format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validName reports whether s is a legal metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns the registered family names in registration order
+// (tests and tooling).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	return out
+}
+
+// sortedKeys is a tiny helper for deterministic map iteration in the
+// parser's consumers.
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

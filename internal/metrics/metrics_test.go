@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "requests")
+	g := r.Gauge("t_in_flight", "in flight")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Dec()
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+}
+
+func TestRenderAndParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_reqs_total", "requests", "endpoint", "access", "code", "2xx")
+	c.Add(12)
+	r.Counter("t_reqs_total", "requests", "endpoint", "range", "code", "4xx").Add(3)
+	g := r.Gauge("t_depth", "queue depth")
+	g.Set(-2)
+	r.GaugeFunc("t_version", "instance version", func() float64 { return 42 })
+	r.CounterFunc("t_hits_total", "hits", func() float64 { return 9 })
+	h := r.Histogram("t_latency_seconds", "latency", []float64{0.001, 0.01, 0.1}, "endpoint", "access")
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // +Inf bucket
+	// A label value with every escapable character.
+	r.Counter("t_esc_total", "escape check", "who", "a\\b\"c\nd").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse of own rendering failed: %v\n%s", err, text)
+	}
+
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if v := byKey["t_reqs_total|code=2xx|endpoint=access"]; v != 12 {
+		t.Fatalf("labeled counter = %v, want 12", v)
+	}
+	if v := byKey["t_depth"]; v != -2 {
+		t.Fatalf("gauge = %v, want -2", v)
+	}
+	if v := byKey["t_version"]; v != 42 {
+		t.Fatalf("gauge func = %v, want 42", v)
+	}
+	if v := byKey["t_latency_seconds_count|endpoint=access"]; v != 3 {
+		t.Fatalf("histogram count = %v, want 3", v)
+	}
+	if v := byKey["t_latency_seconds_sum|endpoint=access"]; math.Abs(v-5.0505) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 5.0505", v)
+	}
+	if v := byKey["t_esc_total|who=a\\b\"c\nd"]; v != 1 {
+		t.Fatalf("escaped label round trip = %v, want 1", v)
+	}
+}
+
+func TestHistogramBucketsCumulativeAndMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0001, 0.002, 0.02, 0.2, 0.0002} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buckets []float64
+	var count float64
+	sawInf := false
+	for _, s := range samples {
+		switch s.Name {
+		case "t_lat_seconds_bucket":
+			buckets = append(buckets, s.Value)
+			if s.Label("le") == "+Inf" {
+				sawInf = true
+			}
+		case "t_lat_seconds_count":
+			count = s.Value
+		}
+	}
+	if len(buckets) != 4 || !sawInf {
+		t.Fatalf("want 4 buckets ending at +Inf, got %v (inf=%v)", buckets, sawInf)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Fatalf("buckets not monotone: %v", buckets)
+		}
+	}
+	if got := buckets[len(buckets)-1]; got != count {
+		t.Fatalf("+Inf bucket %v != count %v", got, count)
+	}
+	if want := []float64{2, 3, 4, 5}; buckets[0] != want[0] || buckets[3] != want[3] {
+		t.Fatalf("cumulative buckets = %v, want %v", buckets, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_q_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	// 100 observations spread evenly through (0.001, 0.01].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.001 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want inside (0.001, 0.01]", p50)
+	}
+	if got := h.Quantile(0); got < 0 || got > 0.01 {
+		t.Fatalf("q0 = %v", got)
+	}
+	r2 := NewRegistry()
+	if got := r2.Histogram("t_q2_seconds", "latency", nil).Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_alloc_seconds", "latency", nil)
+	c := r.Counter("t_alloc_total", "count")
+	g := r.Gauge("t_alloc_gauge", "gauge")
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.004)
+		h.ObserveDuration(3 * time.Millisecond)
+		c.Inc()
+		g.Add(1)
+	}); n != 0 {
+		t.Fatalf("hot-path metric ops allocate: %v allocs/op", n)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_conc_seconds", "latency", nil)
+	c := r.Counter("t_conc_total", "count")
+	const workers, perWorker = 8, 2000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	// Scrape concurrently with observations; every intermediate
+	// rendering must stay parseable and bucket-monotone.
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ParseText(&buf); err != nil {
+				t.Errorf("mid-flight scrape unparseable: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(seed * float64(i) * 1e-6)
+				c.Inc()
+			}
+		}(float64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad name", func() { r.Counter("9bad", "x") })
+	mustPanic("odd labels", func() { r.Counter("t_ok_total", "x", "k") })
+	mustPanic("bad label", func() { r.Counter("t_ok2_total", "x", "0k", "v") })
+	mustPanic("reserved le", func() { r.Histogram("t_h_seconds", "x", nil, "le", "v") })
+	r.Counter("t_dup_total", "x", "a", "1")
+	mustPanic("dup series", func() { r.Counter("t_dup_total", "x", "a", "1") })
+	mustPanic("kind conflict", func() { r.Gauge("t_dup_total", "x", "a", "2") })
+	mustPanic("descending buckets", func() { r.Histogram("t_h2_seconds", "x", []float64{1, 0.5}) })
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"9bad 1",
+		"name{k=v} 1",
+		`name{k="v} 1`,
+		`name{k="v"} x`,
+		`name{k="v"}`,
+		"# TYPE name nonsense",
+		`name{k="a",k="b"} 1`,
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q): no error", bad)
+		}
+	}
+	good := "t_x_total{k=\"v\"} 1\nt_inf +Inf\nt_neg -Inf\nt_nan NaN\n"
+	samples, err := ParseText(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 || !math.IsInf(samples[1].Value, 1) || !math.IsNaN(samples[3].Value) {
+		t.Fatalf("samples = %+v", samples)
+	}
+}

@@ -1,0 +1,222 @@
+// parse.go is the inverse of WritePrometheus: a strict parser for the
+// Prometheus text exposition format, used by cmd/dash to consume a
+// live /metrics endpoint and by tests to verify every emitted line is
+// well formed (names, labels, values, histogram bucket monotonicity).
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the metric name (for histograms, the _bucket/_sum/_count
+	// suffixed series name, exactly as emitted).
+	Name string
+	// Labels holds the label set; nil when the line carried none.
+	Labels map[string]string
+	// Value is the sample value (+Inf/-Inf/NaN parse like Prometheus).
+	Value float64
+}
+
+// Label returns one label's value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Key renders the sample's identity (name plus sorted labels) for
+// map-keyed lookups in consumers.
+func (s Sample) Key() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range sortedKeys(s.Labels) {
+		fmt.Fprintf(&b, "|%s=%s", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// ParseText parses an exposition document, returning every sample and
+// an error naming the first malformed line. # HELP/# TYPE comment
+// lines are validated for basic shape and skipped; blank lines are
+// skipped.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: read: %w", err)
+	}
+	return out, nil
+}
+
+// checkComment validates a # line is a well-formed HELP or TYPE record.
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validName(fields[2]) {
+			return fmt.Errorf("HELP for invalid name %q", fields[2])
+		}
+	case "TYPE":
+		if !validName(fields[2]) {
+			return fmt.Errorf("TYPE for invalid name %q", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE without a kind: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+	default:
+		return fmt.Errorf("unknown comment record %q", fields[1])
+	}
+	return nil
+}
+
+// parseSample parses one `name[{labels}] value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{k="v",...}` returning the index just past the
+// closing brace.
+func parseLabels(rest string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		if i >= len(rest) {
+			return 0, nil, fmt.Errorf("unterminated label set")
+		}
+		if rest[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(rest) && rest[j] != '=' {
+			j++
+		}
+		name := rest[i:j]
+		if !validLabelName(name) && name != "le" {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if j+1 >= len(rest) || rest[j+1] != '"' {
+			return 0, nil, fmt.Errorf("label %q without quoted value", name)
+		}
+		val, next, err := parseQuoted(rest, j+1)
+		if err != nil {
+			return 0, nil, err
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		i = next
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted parses a double-quoted, backslash-escaped label value
+// starting at the opening quote, returning the value and the index
+// just past the closing quote.
+func parseQuoted(s string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c in label value", s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// parseValue parses a sample value, accepting the exposition format's
+// special floats.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}

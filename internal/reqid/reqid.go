@@ -1,0 +1,25 @@
+// Package reqid propagates a per-request identifier through contexts,
+// so log events emitted layers below the HTTP surface (engine builds,
+// rebuilds, degradation decisions) can be joined with the request log
+// line that triggered them. The serve layer assigns (or adopts from
+// X-Request-ID) an id per request; everything below just forwards the
+// context it was given.
+package reqid
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying the request id.
+func With(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// From returns the context's request id, or "" when none was set.
+func From(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

@@ -1,0 +1,40 @@
+// ops.go is the operator-only side surface: net/http/pprof plus a
+// second mount of the monitoring endpoints, meant for a separate
+// loopback/private listener (cmd/serve's -ops-addr), never the public
+// serving port. pprof exposes stacks, heap contents, and CPU profiles —
+// keeping it off the API mux entirely (rather than behind a flag check
+// per request) means no configuration mistake can route it to clients.
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// apiHandler is the concrete handler NewHandlerWith returns: the route
+// mux plus the server state an ops mux shares.
+type apiHandler struct {
+	*http.ServeMux
+	s *server
+}
+
+// NewOpsHandler mounts the operational surface for a handler returned
+// by NewHandler/NewHandlerWith: the standard /debug/pprof/* handlers,
+// plus the same /metrics, /healthz, and /readyz the API serves, so an
+// operator on the private port never needs the public one. Nothing
+// here passes admission or the request middleware — an overloaded or
+// misbehaving server is exactly when profiles matter.
+func NewOpsHandler(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	if ah, ok := api.(apiHandler); ok {
+		mux.HandleFunc("GET /metrics", ah.s.handleMetrics)
+		mux.HandleFunc("GET /healthz", ah.s.handleHealthz)
+		mux.HandleFunc("GET /readyz", ah.s.handleReadyz)
+	}
+	return mux
+}

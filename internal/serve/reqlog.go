@@ -1,0 +1,119 @@
+// reqlog.go is the structured request-logging half of the serve
+// layer's observability: one slog record per request (method, path,
+// endpoint, status, bytes, latency, client, request id), emitted by the
+// instrument middleware when Config.RequestLog is set.
+//
+// Request ids are adopted from the client's X-Request-ID header when it
+// is short and log-safe, minted otherwise, always echoed back in the
+// response header, and propagated via context (internal/reqid) so
+// engine-level events — synchronous builds, background rebuilds, WAL
+// failures — join to the request that triggered them.
+//
+// Under load the log itself must not become the bottleneck: past
+// Config.LogMaxPerSec records in one wall-clock second, only every 16th
+// further record is kept, and the drops are counted in
+// ra_http_request_logs_sampled_out_total so the gap is visible.
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// defaultLogMaxPerSec bounds request-log volume when Config.LogMaxPerSec
+// is unset.
+const defaultLogMaxPerSec = 500
+
+// sampleKeepEvery is the keep rate past the per-second budget.
+const sampleKeepEvery = 16
+
+// ridPrefix distinguishes ids across processes; ridSeq within one.
+var (
+	ridPrefix = func() string {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "ra"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// incomingID adopts the client's X-Request-ID when it is short and
+// log-safe (one record stays one line), minting a fresh id otherwise.
+func incomingID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && cleanID(id) {
+		return id
+	}
+	return ridPrefix + "-" + strconv.FormatUint(ridSeq.Add(1), 36)
+}
+
+// cleanID accepts ids made only of word characters and -_.: — anything
+// else (spaces, quotes, control bytes) gets replaced, not trusted.
+func cleanID(id string) bool {
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// logSampler bounds log records per wall-clock second. The second
+// rollover is a racy CAS on purpose: a handful of records misattributed
+// across a boundary is harmless, a mutex on every request is not.
+type logSampler struct {
+	max int64 // per-second budget; <= 0 disables sampling
+	sec atomic.Int64
+	n   atomic.Int64
+}
+
+func (ls *logSampler) admit(now time.Time) bool {
+	if ls.max <= 0 {
+		return true
+	}
+	sec := now.Unix()
+	if old := ls.sec.Load(); old != sec {
+		if ls.sec.CompareAndSwap(old, sec) {
+			ls.n.Store(0)
+		}
+	}
+	n := ls.n.Add(1)
+	return n <= ls.max || (n-ls.max)%sampleKeepEvery == 1
+}
+
+// logRequest emits the per-request record; called from the instrument
+// middleware's defer, so every exit path — including sheds and panics —
+// produces exactly one record (or one sampled-out count).
+func (s *server) logRequest(r *http.Request, endpoint, id string, status int, bytes int64, d time.Duration) {
+	if !s.logSamp.admit(time.Now()) {
+		s.mets.logsSampledOut.Inc()
+		return
+	}
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case status >= 400:
+		level = slog.LevelWarn
+	}
+	s.reqLog.LogAttrs(r.Context(), level, "request",
+		slog.String("request_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Int64("bytes", bytes),
+		slog.Duration("duration", d),
+		slog.String("client", clientKey(r)),
+	)
+}

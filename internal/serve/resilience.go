@@ -15,11 +15,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
 
 	"rankedaccess/internal/engine"
+	"rankedaccess/internal/reqid"
 )
 
 // healthTTL bounds how often request paths re-sample engine health.
@@ -117,6 +119,11 @@ func (s *server) acquireRead(ctx context.Context, pq *engine.PreparedQuery) (*en
 		if h, fresh := pq.Current(); h != nil {
 			if !fresh {
 				s.degradedReads.Add(1)
+				if s.reqLog != nil {
+					s.reqLog.LogAttrs(ctx, slog.LevelWarn, "serve: degraded read from stale epoch",
+						slog.String("request_id", reqid.From(ctx)),
+						slog.Uint64("epoch", h.Version()))
+				}
 			}
 			return h, nil
 		}
@@ -127,11 +134,16 @@ func (s *server) acquireRead(ctx context.Context, pq *engine.PreparedQuery) (*en
 // shedWrite reports (and records) whether mutations should currently
 // be refused, writing the 503 if so. Shedding writes while the engine
 // is behind is what lets it catch up.
-func (s *server) shedWrite(w http.ResponseWriter) bool {
+func (s *server) shedWrite(w http.ResponseWriter, r *http.Request) bool {
 	if !s.health().Degraded() {
 		return false
 	}
 	s.writeSheds.Add(1)
+	if s.reqLog != nil {
+		s.reqLog.LogAttrs(r.Context(), slog.LevelWarn, "serve: write shed while degraded",
+			slog.String("request_id", reqid.From(r.Context())),
+			slog.String("client", clientKey(r)))
+	}
 	shed(w, http.StatusServiceUnavailable, time.Second, errDegraded)
 	return true
 }

@@ -8,18 +8,31 @@
 // WAL-durable relational writes — see write.go), plus the snapshot
 // durability endpoints when a snapshot directory is configured
 // (checkpoint/list/restore — see snapshots.go).
-// The legacy one-shot endpoints remain as thin shims over the same
-// cores:
+// The one-shot endpoints live under /v1/instance:
 //
-//	POST /load      {"relation": "R", "rows": [[1,2], ...]}
-//	POST /access    {"query", "order"|"sum_by", "fds", "ks": [0, 7, ...]}
-//	POST /range     {"query", "order"|"sum_by", "fds", "k0", "k1"}
-//	POST /select    {"query", "order"|"sum_by", "fds", "k"}
-//	POST /classify  {"problem", "query", "order", "fds"}
-//	POST /count     {"query"}
-//	GET  /stats
+//	POST /v1/instance/load      {"relation": "R", "rows": [[1,2], ...]}
+//	POST /v1/instance/access    {"query", "order"|"sum_by", "fds", "ks": [0, 7, ...]}
+//	POST /v1/instance/range     {"query", "order"|"sum_by", "fds", "k0", "k1"}
+//	POST /v1/instance/select    {"query", "order"|"sum_by", "fds", "k"}
+//	POST /v1/instance/classify  {"problem", "query", "order", "fds"}
+//	POST /v1/instance/count     {"query"}
+//	GET  /v1/stats
 //	GET  /healthz
 //	GET  /readyz
+//	GET  /metrics
+//
+// The unversioned originals (/load, /access, ..., /stats) stay mounted
+// as deprecation shims over the same handlers: byte-identical bodies,
+// plus Deprecation and Link: rel="successor-version" headers (see
+// CONTRIBUTING.md for the sunset policy).
+//
+// Observability (this file + metrics.go/reqlog.go/ops.go): every
+// route passes a per-endpoint middleware recording request counts by
+// response class, latency histograms, and in-flight gauges; GET
+// /metrics renders them — plus every engine/admission/coalescer/WAL
+// counter — in the Prometheus text format; Config.RequestLog enables
+// structured per-request slog records with propagated request ids; and
+// NewOpsHandler mounts pprof + monitoring for a private ops listener.
 //
 // /access is batched: any number of indices is answered with a single
 // plan/cache lookup, so a cold query pays one preprocessing and a warm
@@ -53,6 +66,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -141,6 +155,22 @@ type Config struct {
 	// CoalesceCache is the number of hot probe-window bodies kept for
 	// reuse. 0 means 256; negative disables coalescing entirely.
 	CoalesceCache int
+
+	// RequestLog, when non-nil, emits one structured record per request
+	// (pair it with slog.NewJSONHandler for JSON logs): method, path,
+	// endpoint, status, bytes, latency, client, request id. Ids are
+	// adopted from X-Request-ID or minted, echoed in the response
+	// header, and propagated via context into engine build/rebuild/
+	// degradation events (see internal/reqid). Nil disables request
+	// logging — and skips its per-request work entirely.
+	RequestLog *slog.Logger
+
+	// LogMaxPerSec bounds request-log volume under load: past this many
+	// records in one wall-clock second, only every 16th further record
+	// is kept (drops are counted in
+	// ra_http_request_logs_sampled_out_total). 0 means 500; negative
+	// disables sampling.
+	LogMaxPerSec int
 }
 
 // server holds one mounted API's state: the engine, admission
@@ -161,6 +191,10 @@ type server struct {
 	shed503       atomic.Uint64 // gate-shed requests
 	degradedReads atomic.Uint64 // reads answered from a stale epoch
 	writeSheds    atomic.Uint64 // writes refused while degraded
+
+	mets    *serverMetrics // /metrics registry + per-endpoint series
+	reqLog  *slog.Logger   // nil: request logging off
+	logSamp logSampler
 
 	healthMu sync.Mutex
 	healthAt time.Time
@@ -198,40 +232,96 @@ func NewHandlerWith(e *engine.Engine, cfg Config) http.Handler {
 	if cfg.CoalesceCache >= 0 {
 		s.coal = newCoalescer(cfg.CoalesceCache)
 	}
+	s.reqLog = cfg.RequestLog
+	s.logSamp.max = int64(cfg.LogMaxPerSec)
+	if s.logSamp.max == 0 {
+		s.logSamp.max = defaultLogMaxPerSec
+	}
+	// The metrics registry needs the gate/coalescer/cursor store above;
+	// the routes below need the registry (instrument resolves each
+	// endpoint's series at mount time, so request paths never look one
+	// up).
+	s.mets = newServerMetrics(s)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /load", s.admit(s.handleLoad))
-	mux.HandleFunc("POST /access", s.admit(s.handleAccess))
-	mux.HandleFunc("POST /range", s.admit(s.handleRange))
-	mux.HandleFunc("POST /select", s.admit(s.handleSelect))
-	mux.HandleFunc("POST /classify", s.admit(s.handleClassify))
-	mux.HandleFunc("POST /count", s.admit(s.handleCount))
+
+	// One-shot instance endpoints, canonical under /v1/instance. The
+	// unversioned originals stay mounted as deprecation shims: the same
+	// handler chain (bodies stay byte-identical), plus Deprecation and
+	// Link response headers and a deprecated-traffic counter. See
+	// CONTRIBUTING.md for the sunset policy.
+	s.route(mux, "POST /v1/instance/load", "instance_load", s.admit(s.handleLoad))
+	s.route(mux, "POST /v1/instance/access", "instance_access", s.admit(s.handleAccess))
+	s.route(mux, "POST /v1/instance/range", "instance_range", s.admit(s.handleRange))
+	s.route(mux, "POST /v1/instance/select", "instance_select", s.admit(s.handleSelect))
+	s.route(mux, "POST /v1/instance/classify", "instance_classify", s.admit(s.handleClassify))
+	s.route(mux, "POST /v1/instance/count", "instance_count", s.admit(s.handleCount))
+	s.routeDeprecated(mux, "POST /load", "instance_load", "/v1/instance/load", s.admit(s.handleLoad))
+	s.routeDeprecated(mux, "POST /access", "instance_access", "/v1/instance/access", s.admit(s.handleAccess))
+	s.routeDeprecated(mux, "POST /range", "instance_range", "/v1/instance/range", s.admit(s.handleRange))
+	s.routeDeprecated(mux, "POST /select", "instance_select", "/v1/instance/select", s.admit(s.handleSelect))
+	s.routeDeprecated(mux, "POST /classify", "instance_classify", "/v1/instance/classify", s.admit(s.handleClassify))
+	s.routeDeprecated(mux, "POST /count", "instance_count", "/v1/instance/count", s.admit(s.handleCount))
 
 	// Monitoring endpoints bypass admission: an operator must be able
 	// to observe (and an orchestrator to probe) an overloaded server.
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// They still pass the middleware, so scrape/probe traffic is
+	// visible in the request series like everything else.
+	s.route(mux, "GET /v1/stats", "stats", s.handleStats)
+	s.routeDeprecated(mux, "GET /stats", "stats", "/v1/stats", s.handleStats)
+	s.route(mux, "GET /healthz", "healthz", s.handleHealthz)
+	s.route(mux, "GET /readyz", "readyz", s.handleReadyz)
+	s.route(mux, "GET /metrics", "metrics", s.handleMetrics)
 
-	mux.HandleFunc("POST /v1/write", s.admit(s.handleWrite))
-	mux.HandleFunc("POST /v1/queries", s.admit(s.handleRegister))
-	mux.HandleFunc("GET /v1/queries", s.admit(s.handleList))
-	mux.HandleFunc("GET /v1/queries/{name}", s.admit(s.handleGetQuery))
-	mux.HandleFunc("DELETE /v1/queries/{name}", s.admit(s.handleEvict))
-	mux.HandleFunc("POST /v1/queries/{name}/access", s.admit(s.handleV1Access))
-	mux.HandleFunc("POST /v1/queries/{name}/range", s.admit(s.handleV1Range))
-	mux.HandleFunc("POST /v1/queries/{name}/select", s.admit(s.handleV1Select))
-	mux.HandleFunc("POST /v1/queries/{name}/count", s.admit(s.handleV1Count))
-	mux.HandleFunc("POST /v1/queries/{name}/classify", s.admit(s.handleV1Classify))
-	mux.HandleFunc("POST /v1/queries/{name}/cursor", s.admit(s.handleCursorCreate))
-	mux.HandleFunc("GET /v1/cursors/{id}/next", s.admitStream(s.handleCursorNext))
-	mux.HandleFunc("DELETE /v1/cursors/{id}", s.admit(s.handleCursorClose))
+	s.route(mux, "POST /v1/write", "write", s.admit(s.handleWrite))
+	s.route(mux, "POST /v1/queries", "queries_register", s.admit(s.handleRegister))
+	s.route(mux, "GET /v1/queries", "queries_list", s.admit(s.handleList))
+	s.route(mux, "GET /v1/queries/{name}", "queries_get", s.admit(s.handleGetQuery))
+	s.route(mux, "DELETE /v1/queries/{name}", "queries_evict", s.admit(s.handleEvict))
+	s.route(mux, "POST /v1/queries/{name}/access", "query_access", s.admit(s.handleV1Access))
+	s.route(mux, "POST /v1/queries/{name}/range", "query_range", s.admit(s.handleV1Range))
+	s.route(mux, "POST /v1/queries/{name}/select", "query_select", s.admit(s.handleV1Select))
+	s.route(mux, "POST /v1/queries/{name}/count", "query_count", s.admit(s.handleV1Count))
+	s.route(mux, "POST /v1/queries/{name}/classify", "query_classify", s.admit(s.handleV1Classify))
+	s.route(mux, "POST /v1/queries/{name}/cursor", "cursor_create", s.admit(s.handleCursorCreate))
+	s.route(mux, "GET /v1/cursors/{id}/next", "cursor_next", s.admitStream(s.handleCursorNext))
+	s.route(mux, "DELETE /v1/cursors/{id}", "cursor_close", s.admit(s.handleCursorClose))
 	if dir := cfg.SnapshotDir; dir != "" {
-		mux.HandleFunc("POST /v1/snapshots", s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotCreate(e, dir, w, r) }))
-		mux.HandleFunc("GET /v1/snapshots", s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotList(dir, w, r) }))
-		mux.HandleFunc("POST /v1/snapshots/{name}/restore", s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotRestore(e, dir, w, r) }))
+		s.route(mux, "POST /v1/snapshots", "snapshot_create",
+			s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotCreate(e, dir, w, r) }))
+		s.route(mux, "GET /v1/snapshots", "snapshot_list",
+			s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotList(dir, w, r) }))
+		s.route(mux, "POST /v1/snapshots/{name}/restore", "snapshot_restore",
+			s.admit(func(w http.ResponseWriter, r *http.Request) { handleSnapshotRestore(e, dir, w, r) }))
 	}
-	return mux
+	return apiHandler{ServeMux: mux, s: s}
+}
+
+// route mounts one endpoint under the per-endpoint middleware (see
+// instrument in metrics.go). The endpoint name is the metric label —
+// one of a fixed set chosen here, never derived from the request.
+func (s *server) route(mux *http.ServeMux, pattern, endpoint string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, s.instrument(endpoint, h))
+}
+
+// routeDeprecated mounts a legacy path as a shim over its /v1
+// successor: the same handler chain, so bodies stay byte-identical,
+// plus RFC 8594-style deprecation headers and a per-endpoint
+// deprecated-traffic counter (how much legacy traffic remains is the
+// input to the sunset policy in CONTRIBUTING.md). The shim shares the
+// successor's endpoint label; the deprecated counter is what splits
+// legacy volume out of the shared series.
+func (s *server) routeDeprecated(mux *http.ServeMux, pattern, endpoint, successor string, h http.HandlerFunc) {
+	dep := s.mets.deprecatedFor(endpoint)
+	link := "<" + successor + `>; rel="successor-version"`
+	mux.HandleFunc(pattern, s.instrument(endpoint, func(w http.ResponseWriter, r *http.Request) {
+		dep.Inc()
+		s.mets.deprecatedTotal.Add(1)
+		hd := w.Header()
+		hd.Set("Deprecation", "true")
+		hd.Set("Link", link)
+		h(w, r)
+	}))
 }
 
 // specPayload is the request fragment shared by the query endpoints.
@@ -278,7 +368,7 @@ type loadResponse struct {
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	if s.shedWrite(w) {
+	if s.shedWrite(w, r) {
 		return
 	}
 	var req loadRequest
@@ -555,6 +645,10 @@ type statsResponse struct {
 	DegradedReads  uint64 `json:"degraded_reads"`
 	WriteSheds     uint64 `json:"write_sheds"`
 	Degraded       bool   `json:"degraded"`
+	// DeprecatedRequests counts requests answered through a deprecated
+	// legacy route (the unversioned shims over /v1/instance/* and
+	// /v1/stats).
+	DeprecatedRequests uint64 `json:"deprecated_requests"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -569,11 +663,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		WALBatches:     st.WALBatches, DeltaSkips: st.DeltaSkips,
 		DeltaEpochs: st.DeltaEpochs, DeltaRebuilds: st.DeltaRebuilds,
 		BGRebuilds: st.BGRebuilds, WALErrors: st.WALErrors,
-		Shed429:       s.shed429.Load(),
-		Shed503:       s.shed503.Load(),
-		DegradedReads: s.degradedReads.Load(),
-		WriteSheds:    s.writeSheds.Load(),
-		Degraded:      s.health().Degraded(),
+		Shed429:            s.shed429.Load(),
+		Shed503:            s.shed503.Load(),
+		DegradedReads:      s.degradedReads.Load(),
+		WriteSheds:         s.writeSheds.Load(),
+		Degraded:           s.health().Degraded(),
+		DeprecatedRequests: s.mets.deprecatedTotal.Load(),
 	}
 	if s.gate != nil {
 		resp.InFlight = s.gate.Active()

@@ -50,7 +50,7 @@ func (s *server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	// A degraded engine (broken WAL, or an overlay backlog at the hard
 	// rebuild threshold) sheds writes so it can catch up; reads keep
 	// flowing from published epochs meanwhile.
-	if s.shedWrite(w) {
+	if s.shedWrite(w, r) {
 		return
 	}
 	var req writeRequest
