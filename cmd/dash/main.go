@@ -16,6 +16,17 @@
 // the server is doing now, not since boot. The latency quantiles are
 // interpolated from the ra_http_request_duration_seconds histogram the
 // same way Prometheus's histogram_quantile does.
+//
+// Availability SLO: dash tracks a multi-window error-budget burn rate
+// from the 5xx share of ra_http_requests_total. Burn = (5xx fraction) /
+// (1 - SLO), so burn 1.0 spends the budget exactly at the SLO boundary.
+// Two windows — 5m (fast) and 1h (slow) — follow the standard
+// multi-window alerting shape: the fast window catches new breakage
+// quickly, the slow window keeps one bad poll from paging. The ALERT
+// marker fires only when BOTH burn past -burn. Under -once, dash takes
+// a second scrape one -interval later and exits non-zero when that
+// sample's burn crosses the threshold (CI gate: "did this deploy start
+// burning the budget?").
 package main
 
 import (
@@ -39,21 +50,37 @@ func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "base URL of the serve instance")
 		interval = flag.Duration("interval", 2*time.Second, "polling interval")
-		once     = flag.Bool("once", false, "print one snapshot and exit (exit 1 when the scrape fails)")
+		once     = flag.Bool("once", false, "two scrapes one interval apart, then exit (non-zero on scrape failure or fast-window burn)")
 		htmlOut  = flag.String("html", "", "also write an HTML snapshot to this file each poll")
+		slo      = flag.Float64("slo", 0.999, "availability SLO target (success fraction)")
+		burnMax  = flag.Float64("burn", 1.0, "error-budget burn-rate threshold for the ALERT marker and -once exit")
 	)
 	flag.Parse()
 	base := strings.TrimRight(*addr, "/")
 	hc := &http.Client{Timeout: 10 * time.Second}
+	hist := &history{slo: *slo, threshold: *burnMax}
 
 	prev, err := scrape(hc, base)
 	if err != nil {
 		log.Fatalf("dash: %v", err)
 	}
+	hist.push(prev)
 	if *once {
-		render(os.Stdout, base, nil, prev)
+		// A second scrape one interval later gives -once a real window:
+		// lifetime totals cannot say whether the budget is burning NOW.
+		time.Sleep(*interval)
+		cur, err := scrape(hc, base)
+		if err != nil {
+			log.Fatalf("dash: %v", err)
+		}
+		hist.push(cur)
+		render(os.Stdout, base, prev, cur, hist)
 		if *htmlOut != "" {
-			writeHTML(*htmlOut, base, nil, prev)
+			writeHTML(*htmlOut, base, prev, cur, hist)
+		}
+		if fast, _, ok := hist.burn(cur, fastWindow); ok && fast >= *burnMax {
+			fmt.Fprintf(os.Stderr, "dash: fast-window burn %.2f >= %.2f: error budget burning\n", fast, *burnMax)
+			os.Exit(1)
 		}
 		return
 	}
@@ -64,13 +91,79 @@ func main() {
 			fmt.Printf("dash: scrape failed: %v\n", err)
 			continue
 		}
+		hist.push(cur)
 		fmt.Print("\033[H\033[2J") // clear terminal between polls
-		render(os.Stdout, base, prev, cur)
+		render(os.Stdout, base, prev, cur, hist)
 		if *htmlOut != "" {
-			writeHTML(*htmlOut, base, prev, cur)
+			writeHTML(*htmlOut, base, prev, cur, hist)
 		}
 		prev = cur
 	}
+}
+
+// SLO burn-rate windows: the fast one catches fresh breakage, the slow
+// one confirms it is sustained.
+const (
+	fastWindow = 5 * time.Minute
+	slowWindow = time.Hour
+)
+
+// history is the ring of past scrapes the burn-rate windows are
+// computed from. Snapshots older than the slow window (plus slack for
+// the boundary sample) are dropped.
+type history struct {
+	slo       float64
+	threshold float64
+	snaps     []*snap
+}
+
+func (h *history) push(s *snap) {
+	h.snaps = append(h.snaps, s)
+	cutoff := s.at.Add(-slowWindow - time.Minute)
+	i := 0
+	for i < len(h.snaps)-1 && h.snaps[i].at.Before(cutoff) {
+		i++
+	}
+	h.snaps = h.snaps[i:]
+}
+
+// burn computes the error-budget burn rate over the trailing window:
+// the 5xx share of requests in the window divided by the budget
+// (1-SLO). covered reports how much of the window the history actually
+// spans — early in a run the "1h" burn is really a burn over whatever
+// has been observed so far. ok is false when there is no earlier
+// snapshot or no traffic to judge.
+func (h *history) burn(cur *snap, window time.Duration) (rate float64, covered time.Duration, ok bool) {
+	// Oldest snapshot still inside the window; it anchors the delta.
+	var anchor *snap
+	cutoff := cur.at.Add(-window)
+	for _, s := range h.snaps {
+		if s == cur {
+			continue
+		}
+		if !s.at.Before(cutoff) {
+			anchor = s
+			break
+		}
+		anchor = s // keep the newest pre-window snap as fallback anchor
+	}
+	if anchor == nil || !anchor.at.Before(cur.at) {
+		return 0, 0, false
+	}
+	covered = cur.at.Sub(anchor.at)
+	if covered > window {
+		covered = window
+	}
+	reqs := cur.sum("ra_http_requests_total") - anchor.sum("ra_http_requests_total")
+	errs := cur.errors5xx() - anchor.errors5xx()
+	if reqs <= 0 {
+		return 0, covered, false
+	}
+	budget := 1 - h.slo
+	if budget <= 0 {
+		budget = 1e-9 // a 100% SLO has no budget; any error burns "infinitely"
+	}
+	return (errs / reqs) / budget, covered, true
 }
 
 // snap is one poll: the parsed scrape plus the readiness probe.
@@ -111,6 +204,19 @@ func (s *snap) sum(name string) float64 {
 	var t float64
 	for _, sm := range s.samples {
 		if sm.Name == name {
+			t += sm.Value
+		}
+	}
+	return t
+}
+
+// errors5xx sums the 5xx status class of the request counter across
+// endpoints (the code label is a class, never a raw status — see
+// internal/serve's metrics cardinality policy).
+func (s *snap) errors5xx() float64 {
+	var t float64
+	for _, sm := range s.samples {
+		if sm.Name == "ra_http_requests_total" && sm.Label("code") == "5xx" {
 			t += sm.Value
 		}
 	}
@@ -241,7 +347,7 @@ func parseLE(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
-func render(w io.Writer, base string, prev, cur *snap) {
+func render(w io.Writer, base string, prev, cur *snap, hist *history) {
 	v := digest(prev, cur)
 	scope := fmt.Sprintf("last %s", v.window.Round(time.Millisecond))
 	if v.lifetime {
@@ -274,6 +380,39 @@ func render(w io.Writer, base string, prev, cur *snap) {
 	}
 	fmt.Fprintf(w, "engine    version %.0f   tuples %.0f   wal %.0f batches (%s)   degraded: %s\n",
 		v.version, v.tuples, v.walBatches, wal, degraded)
+	if hist != nil {
+		fmt.Fprintln(w, burnLine(hist, cur))
+	}
+}
+
+// burnLine renders the multi-window SLO picture: both burn rates with
+// their actual coverage, and the ALERT marker when both windows burn
+// past the threshold.
+func burnLine(hist *history, cur *snap) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo       %.3g%% target   burn", hist.slo*100)
+	fast, slow := 0.0, 0.0
+	fastOK, slowOK := false, false
+	for _, wdw := range []struct {
+		name string
+		d    time.Duration
+	}{{"5m", fastWindow}, {"1h", slowWindow}} {
+		rate, covered, ok := hist.burn(cur, wdw.d)
+		if !ok {
+			fmt.Fprintf(&b, "   %s -", wdw.name)
+			continue
+		}
+		fmt.Fprintf(&b, "   %s %.2f (over %s)", wdw.name, rate, covered.Round(time.Second))
+		if wdw.d == fastWindow {
+			fast, fastOK = rate, true
+		} else {
+			slow, slowOK = rate, true
+		}
+	}
+	if fastOK && slowOK && fast >= hist.threshold && slow >= hist.threshold {
+		fmt.Fprintf(&b, "   ALERT: budget burning in both windows")
+	}
+	return b.String()
 }
 
 func ms(seconds float64) string {
@@ -285,7 +424,7 @@ func ms(seconds float64) string {
 
 // writeHTML renders the same digest as a standalone page (meta-refresh
 // keeps a browser tab live while dash keeps rewriting the file).
-func writeHTML(path, base string, prev, cur *snap) {
+func writeHTML(path, base string, prev, cur *snap, hist *history) {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
 	b.WriteString("<meta http-equiv=\"refresh\" content=\"2\">\n")
@@ -293,7 +432,7 @@ func writeHTML(path, base string, prev, cur *snap) {
 	b.WriteString("<style>body{font:14px monospace;background:#111;color:#ddd;padding:2em}" +
 		"pre{font:inherit}.bad{color:#f66}</style></head><body>\n<pre>")
 	var text strings.Builder
-	render(&text, base, prev, cur)
+	render(&text, base, prev, cur, hist)
 	b.WriteString(html.EscapeString(text.String()))
 	b.WriteString("</pre>\n</body></html>\n")
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {

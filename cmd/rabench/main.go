@@ -19,6 +19,12 @@
 //
 //	rabench -shards 1,2,4,8 > new.txt
 //	go run ./cmd/benchgate -old old.txt -new new.txt
+//
+// Distributed serving benchmarks (coordinator-path access and range
+// quantiles against live shard nodes, next to the in-process sharded
+// baseline over the same instance — see remote.go):
+//
+//	rabench -remote 127.0.0.1:9101,127.0.0.1:9102 -remote-shards 4
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 		shards     = flag.String("shards", "", "benchmark sharded execution at these shard counts (e.g. 1,2,4,8) instead of the experiments")
 		mixed      = flag.Bool("mixed", false, "benchmark read latency under concurrent writes (MVCC write path) instead of the experiments")
+		remote     = flag.String("remote", "", "benchmark the coordinator path against these shard-node addrs (comma-separated) instead of the experiments")
+		remoteP    = flag.Int("remote-shards", 4, "cluster-wide shard count for -remote")
 	)
 	flag.Parse()
 
@@ -73,6 +81,13 @@ func main() {
 
 	if *shards != "" {
 		if err := runShardBench(os.Stdout, *shards, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *remote != "" {
+		if err := runRemoteBench(os.Stdout, *remote, *remoteP, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"rankedaccess/internal/cluster"
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/rpc"
+	"rankedaccess/internal/values"
+	"rankedaccess/internal/workload"
+)
+
+// runRemoteBench benchmarks the coordinator path against live shard
+// nodes and prints Access/Range latency quantiles next to an
+// in-process sharded baseline over the same generated instance — the
+// delta between the two IS the network: scatter rounds, framing, and
+// merge traffic, with the ranked-structure work held constant.
+//
+// The nodes must already hold the instance this benchmark generates
+// (same -scale and -seed; load it with the SDK or cmd/serve's -data) —
+// the benchmark refuses to compare quantiles across different data and
+// says so when the totals disagree.
+//
+//	rabench -remote 127.0.0.1:9101,127.0.0.1:9102 -remote-shards 4 > new.txt
+func runRemoteBench(w io.Writer, addrs string, p, scale int, seed int64) error {
+	var nodes []cluster.NodeConfig
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodes = append(nodes, cluster.NodeConfig{Addr: a})
+		}
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("rabench: -remote needs a comma-separated node list, e.g. 127.0.0.1:9101,127.0.0.1:9102")
+	}
+	raw, err := json.Marshal(cluster.Config{Shards: p, Nodes: nodes})
+	if err != nil {
+		return err
+	}
+	cfg, err := cluster.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("rabench: %w", err)
+	}
+	coord := cluster.NewCoordinator(cfg, rpc.Options{})
+	defer coord.Close()
+	ce := engine.New(nil, engine.Options{Remote: coord})
+
+	n := 8192 << scale
+	rng := rand.New(rand.NewSource(seed))
+	q, in := workload.TwoPath(rng, n, n/4, 0.4)
+	qtext := q.String()
+	local := engine.New(in, engine.Options{})
+
+	spec := engine.Spec{Query: qtext, Shards: p}
+	lh, err := local.Prepare(spec)
+	if err != nil {
+		return fmt.Errorf("rabench: local prepare: %w", err)
+	}
+	start := time.Now()
+	rh, err := ce.Prepare(spec)
+	if err != nil {
+		return fmt.Errorf("rabench: remote prepare (are the nodes up and loaded?): %w", err)
+	}
+	remotePrep := time.Since(start)
+	if rh.Total() != lh.Total() {
+		return fmt.Errorf("rabench: remote total %d != local total %d — load the generated instance (same -scale/-seed) to every node first",
+			rh.Total(), lh.Total())
+	}
+	total := lh.Total()
+
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: rankedaccess/cmd/rabench\n")
+	fmt.Fprintf(w, "# remote: %d nodes, %d shards, n=%d, |Q(I)|=%d\n", len(nodes), p, n, total)
+	fmt.Fprintf(w, "BenchmarkRemotePrepare/n=%d/shards=%d \t%8d\t%12d ns/op\n", n, p, 1, remotePrep.Nanoseconds())
+
+	const probes = 2000
+	ks := make([]int64, probes)
+	for i := range ks {
+		ks[i] = rng.Int63n(total)
+	}
+	emit := func(name string, lat []time.Duration, ops int) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		for _, qt := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p99", 0.99}} {
+			idx := int(qt.q * float64(len(lat)-1))
+			fmt.Fprintf(w, "Benchmark%s/n=%d/shards=%d/q=%s \t%8d\t%12d ns/op\n",
+				name, n, p, qt.label, ops, lat[idx].Nanoseconds())
+		}
+	}
+	accessLat := func(h *engine.Handle) ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, probes)
+		var dst []values.Value
+		for _, k := range ks {
+			t0 := time.Now()
+			dst, err = h.AppendTuple(dst[:0], k)
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		return lat, nil
+	}
+
+	rlat, err := accessLat(rh)
+	if err != nil {
+		return fmt.Errorf("rabench: remote access: %w", err)
+	}
+	emit("RemoteAccess", rlat, 1)
+	llat, err := accessLat(lh)
+	if err != nil {
+		return fmt.Errorf("rabench: local access: %w", err)
+	}
+	emit("LocalShardAccess", llat, 1)
+
+	// Ranges: fixed-width windows at random offsets, so the quantiles
+	// price the P-way merge (and, remotely, one FetchRange per shard)
+	// rather than window-size variance.
+	window := int64(512)
+	if window > total {
+		window = total
+	}
+	const rangeProbes = 200
+	k0s := make([]int64, rangeProbes)
+	for i := range k0s {
+		k0s[i] = rng.Int63n(total - window + 1)
+	}
+	rangeLat := func(h *engine.Handle) ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, rangeProbes)
+		var dst []values.Value
+		for _, k0 := range k0s {
+			t0 := time.Now()
+			dst, err = h.AccessRange(dst[:0], k0, k0+window)
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		return lat, nil
+	}
+	rrl, err := rangeLat(rh)
+	if err != nil {
+		return fmt.Errorf("rabench: remote range: %w", err)
+	}
+	emit("RemoteRange", rrl, int(window))
+	lrl, err := rangeLat(lh)
+	if err != nil {
+		return fmt.Errorf("rabench: local range: %w", err)
+	}
+	emit("LocalShardRange", lrl, int(window))
+	return nil
+}

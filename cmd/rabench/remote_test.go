@@ -1,0 +1,66 @@
+package main
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+
+	"rankedaccess/internal/cluster"
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/rpc"
+	"rankedaccess/internal/workload"
+)
+
+// TestRemoteBenchEndToEnd drives rabench -remote against two
+// in-process shard nodes loaded with the benchmark's own instance, and
+// checks the report carries both the remote and the baseline series.
+func TestRemoteBenchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a cluster and probes it thousands of times")
+	}
+	const seed, scale = 42, 0
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		_, in := workload.TwoPath(rand.New(rand.NewSource(seed)), 8192<<scale, (8192<<scale)/4, 0.4)
+		e := engine.New(in, engine.Options{})
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := rpc.NewServer(cluster.NewNode(e))
+		go func() { _ = srv.Serve(lis) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, lis.Addr().String())
+	}
+
+	var out strings.Builder
+	if err := runRemoteBench(&out, strings.Join(addrs, ","), 4, scale, seed); err != nil {
+		t.Fatalf("runRemoteBench: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"BenchmarkRemotePrepare", "BenchmarkRemoteAccess", "BenchmarkLocalShardAccess",
+		"BenchmarkRemoteRange", "BenchmarkLocalShardRange", "q=p50", "q=p99",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %s:\n%s", want, report)
+		}
+	}
+
+	// A mismatched instance must refuse to compare, not report garbage.
+	_, other := workload.TwoPath(rand.New(rand.NewSource(99)), 1024, 256, 0.4)
+	oe := engine.New(other, engine.Options{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(cluster.NewNode(oe))
+	go func() { _ = srv.Serve(lis) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	var junk strings.Builder
+	err = runRemoteBench(&junk, lis.Addr().String(), 4, scale, seed)
+	if err == nil || !strings.Contains(err.Error(), "total") {
+		t.Fatalf("mismatched instance: err = %v", err)
+	}
+}

@@ -40,6 +40,17 @@
 // shutdown, after in-flight requests and any in-flight background
 // checkpoint have drained, so a clean restart loses nothing.
 //
+// Distributed serving (-role): the default role "single" serves its
+// own instance. "-role=shard -rpc-addr :9101" additionally answers the
+// internal/rpc shard protocol on the given address, serving the shard
+// subsets coordinators ask it to build (the HTTP API stays up — that
+// is how a shard node is loaded with data). "-role=coordinator
+// -cluster cluster.json" owns no data at all: every prepared query is
+// planned locally and scatter-gathered over the cluster's shard nodes,
+// byte-identical to single-node answers; /readyz reflects probed node
+// health, and /metrics carries per-peer RPC series. See README
+// "Distributed serving" for the cluster config format.
+//
 // Example session:
 //
 //	curl -s localhost:8080/v1/queries -d '{
@@ -58,6 +69,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -68,9 +80,12 @@ import (
 	"syscall"
 	"time"
 
+	"rankedaccess/internal/cluster"
 	"rankedaccess/internal/database"
 	"rankedaccess/internal/engine"
+	"rankedaccess/internal/metrics"
 	"rankedaccess/internal/par"
+	"rankedaccess/internal/rpc"
 	"rankedaccess/internal/serve"
 	"rankedaccess/internal/snapshot"
 )
@@ -100,11 +115,37 @@ func main() {
 		opsAddr     = flag.String("ops-addr", "", "operator listener (pprof + /metrics + health probes) on a separate, private address; off when empty")
 		logRequests = flag.Bool("log-requests", false, "emit one JSON log record per request to stderr (request ids propagate into engine events)")
 		logMaxPS    = flag.Int("log-max-per-sec", 0, "request-log records kept per second before sampling kicks in (0 = 500, negative disables sampling)")
+
+		role        = flag.String("role", "single", "serving role: single, shard (also answer the shard RPC protocol on -rpc-addr), or coordinator (own no data; scatter-gather over -cluster)")
+		clusterPath = flag.String("cluster", "", "cluster config JSON (required for -role=coordinator)")
+		rpcAddr     = flag.String("rpc-addr", "", "shard RPC listen address (required for -role=shard)")
 	)
 	flag.Parse()
 	par.SetLimit(*workers)
 	if *ckEvery > 0 && *snapDir == "" {
 		log.Fatal("serve: -checkpoint-every requires -snapshot-dir")
+	}
+	switch *role {
+	case "single":
+		if *rpcAddr != "" {
+			log.Fatal("serve: -rpc-addr requires -role=shard")
+		}
+		if *clusterPath != "" {
+			log.Fatal("serve: -cluster requires -role=coordinator")
+		}
+	case "shard":
+		if *rpcAddr == "" {
+			log.Fatal("serve: -role=shard requires -rpc-addr")
+		}
+	case "coordinator":
+		if *clusterPath == "" {
+			log.Fatal("serve: -role=coordinator requires -cluster")
+		}
+		if *dataDir != "" || *snapDir != "" {
+			log.Fatal("serve: a coordinator owns no data; -data and -snapshot-dir are for shard or single roles")
+		}
+	default:
+		log.Fatalf("serve: unknown -role %q (single, shard, coordinator)", *role)
 	}
 
 	// One structured logger feeds both layers: the serve middleware's
@@ -116,6 +157,7 @@ func main() {
 	}
 
 	var e *engine.Engine
+	var coord *cluster.Coordinator
 	warm := false
 	if *snapDir != "" {
 		// First boot against a fresh directory: the WAL is created inside
@@ -135,7 +177,17 @@ func main() {
 				*snapDir, st.Tuples, st.WarmStructures, st.Version)
 		}
 	} else {
-		e = engine.New(database.NewInstance(), engine.Options{CacheSize: *cache, Logger: appLog})
+		eopts := engine.Options{CacheSize: *cache, Logger: appLog}
+		if *role == "coordinator" {
+			cfg, err := cluster.Load(*clusterPath)
+			if err != nil {
+				log.Fatalf("serve: %v", err)
+			}
+			coord = cluster.NewCoordinator(cfg, rpc.Options{})
+			eopts.Remote = coord
+			log.Printf("serve: coordinator over %d shards across %d nodes", cfg.Shards, len(cfg.Nodes))
+		}
+		e = engine.New(database.NewInstance(), eopts)
 	}
 	switch {
 	case *dataDir != "" && warm:
@@ -152,6 +204,22 @@ func main() {
 		log.Printf("serve: loaded %d relations from %s", loaded, *dataDir)
 	}
 
+	// Role plumbing into the shared HTTP surface: a shard node's RPC
+	// server counters and a coordinator's per-peer client metrics land
+	// on the same /metrics endpoint, and a coordinator's readiness
+	// follows its probed view of the cluster.
+	var rsrv *rpc.Server
+	var extraMetrics func(*metrics.Registry)
+	var readyCheck func() []string
+	switch *role {
+	case "shard":
+		rsrv = rpc.NewServer(cluster.NewNode(e))
+		extraMetrics = rsrv.Instrument
+	case "coordinator":
+		extraMetrics = coord.RegisterMetrics
+		readyCheck = coord.ReadyReasons
+	}
+
 	api := serve.NewHandlerWith(e, serve.Config{
 		SnapshotDir:        *snapDir,
 		RequestTimeout:     *reqTimeout,
@@ -163,7 +231,22 @@ func main() {
 		StreamWriteTimeout: *streamWrite,
 		RequestLog:         appLog,
 		LogMaxPerSec:       *logMaxPS,
+		ReadyCheck:         readyCheck,
+		ExtraMetrics:       extraMetrics,
 	})
+
+	if rsrv != nil {
+		lis, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			log.Fatalf("serve: rpc listen: %v", err)
+		}
+		go func() {
+			log.Printf("serve: shard RPC listener on %s", lis.Addr())
+			if err := rsrv.Serve(lis); err != nil {
+				log.Printf("serve: rpc: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: api,
@@ -265,6 +348,14 @@ func main() {
 		ckWG.Wait()
 		if *snapDir != "" {
 			checkpoint("shutdown")
+		}
+		// Stop answering shard RPCs only after HTTP drained: in-flight
+		// coordinator scatters against this node get to finish.
+		if rsrv != nil {
+			_ = rsrv.Close()
+		}
+		if coord != nil {
+			coord.Close()
 		}
 		log.Printf("serve: drained, bye")
 	}

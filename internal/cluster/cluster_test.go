@@ -1,0 +1,529 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/database"
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/rpc"
+	"rankedaccess/internal/serve"
+	"rankedaccess/internal/workload"
+)
+
+const twoPath = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+// testInstance returns THE test instance: every call produces
+// identical data, which is how every node of a test cluster ends up
+// holding the full dataset (the deployment model: load the same data
+// to every node; ownership decides which shards each one builds).
+func testInstance() *database.Instance {
+	_, in := workload.TwoPath(rand.New(rand.NewSource(33)), 200, 32, 0.4)
+	return in
+}
+
+// testCluster is one in-process cluster: real TCP listeners, real RPC
+// servers, a real prober — only the machines are missing.
+type testCluster struct {
+	coord   *Coordinator
+	ce      *engine.Engine // coordinator-mode engine
+	engines []*engine.Engine
+	servers []*rpc.Server
+	addrs   []string
+}
+
+// startCluster boots nNodes shard nodes with explicit round-robin
+// placement of p shards, plus a coordinator engine over them. wrap, if
+// non-nil, wraps each node's listener (fault injection).
+func startCluster(t *testing.T, nNodes, p int, wrap func(net.Listener) net.Listener) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	nodes := make([]NodeConfig, nNodes)
+	for i := 0; i < nNodes; i++ {
+		e := engine.New(testInstance(), engine.Options{})
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrap != nil {
+			lis = wrap(lis)
+		}
+		srv := rpc.NewServer(NewNode(e))
+		go func() { _ = srv.Serve(lis) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		tc.engines = append(tc.engines, e)
+		tc.servers = append(tc.servers, srv)
+		tc.addrs = append(tc.addrs, lis.Addr().String())
+		nodes[i] = NodeConfig{Addr: tc.addrs[i]}
+	}
+	for s := 0; s < p; s++ {
+		nodes[s%nNodes].Shards = append(nodes[s%nNodes].Shards, s)
+	}
+	raw, err := json.Marshal(Config{Shards: p, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", raw, err)
+	}
+	tc.coord = NewCoordinator(cfg, rpc.Options{})
+	t.Cleanup(tc.coord.Close)
+	tc.ce = engine.New(nil, engine.Options{Remote: tc.coord})
+	return tc
+}
+
+func oracleSpecs() []engine.Spec {
+	return []engine.Spec{
+		{Query: twoPath, Order: "x, y, z"},                       // layered-lex
+		{Query: twoPath, Order: "y desc, x"},                     // layered-lex, mixed dirs
+		{Query: "Q(x, y) :- R(x, y)", SumBy: []string{"x", "y"}}, // sum
+		{Query: twoPath, Order: "x, z, y"},                       // intractable → materialized
+	}
+}
+
+// sampleKs picks boundary and interior ranks, deterministically.
+func sampleKs(total int64) []int64 {
+	ks := []int64{0, total - 1}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 48; i++ {
+		ks = append(ks, rng.Int63n(total))
+	}
+	return ks
+}
+
+// TestDistributedOracle is the byte-identity oracle: a coordinator
+// over {2, 4} nodes must answer every probe exactly as a single-node
+// engine over the same data — same tuples, same answers, same inverses,
+// same counts, same errors.
+func TestDistributedOracle(t *testing.T) {
+	local := engine.New(testInstance(), engine.Options{})
+	for _, topo := range []struct{ nodes, p int }{{2, 5}, {4, 8}} {
+		tc := startCluster(t, topo.nodes, topo.p, nil)
+		for _, spec := range oracleSpecs() {
+			ref, err := local.Prepare(spec)
+			if err != nil {
+				t.Fatalf("%+v: local prepare: %v", spec, err)
+			}
+			h, err := tc.ce.Prepare(spec)
+			if err != nil {
+				t.Fatalf("%+v: distributed prepare: %v", spec, err)
+			}
+			if h.Total() != ref.Total() {
+				t.Fatalf("%+v: distributed total %d, local %d", spec, h.Total(), ref.Total())
+			}
+			if h.Plan.Mode != ref.Plan.Mode {
+				t.Fatalf("%+v: distributed mode %s, local %s", spec, h.Plan.Mode, ref.Plan.Mode)
+			}
+			if h.Plan.Shards != topo.p || h.Plan.ShardBy == "" {
+				t.Fatalf("%+v: distributed plan %+v, want %d shards", spec, h.Plan, topo.p)
+			}
+			for _, k := range sampleKs(ref.Total()) {
+				want, err1 := ref.AppendTuple(nil, k)
+				got, err2 := h.AppendTuple(nil, k)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%+v k=%d: local %v, distributed %v", spec, k, err1, err2)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%+v k=%d: tuple %v, want %v", spec, k, got, want)
+				}
+				wa, err1 := ref.Access(k)
+				ga, err2 := h.Access(k)
+				if err1 != nil || err2 != nil || fmt.Sprint(ga) != fmt.Sprint(wa) {
+					t.Fatalf("%+v k=%d: answer %v (%v), want %v (%v)", spec, k, ga, err2, wa, err1)
+				}
+				wi, errW := ref.Inverted(wa)
+				gi, errG := h.Inverted(ga)
+				if errors.Is(errW, engine.ErrNoInverted) != errors.Is(errG, engine.ErrNoInverted) {
+					t.Fatalf("%+v: inverse support diverges (local %v, distributed %v)", spec, errW, errG)
+				}
+				if errW == nil && (errG != nil || gi != wi) {
+					t.Fatalf("%+v k=%d: inverse %d (%v), want %d", spec, k, gi, errG, wi)
+				}
+			}
+			// Out-of-bound ranks fail with the same sentinel.
+			if _, err := h.Access(ref.Total()); !errors.Is(err, access.ErrOutOfBound) {
+				t.Fatalf("%+v: Access(total) = %v, want ErrOutOfBound", spec, err)
+			}
+			if _, err := h.Access(-1); !errors.Is(err, access.ErrOutOfBound) {
+				t.Fatalf("%+v: Access(-1) = %v, want ErrOutOfBound", spec, err)
+			}
+			// Full range scan: the P-way network merge must flatten to
+			// the identical value stream.
+			_, want, err := local.AccessRange(spec, nil, 0, ref.Total())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, got, err := tc.ce.AccessRange(spec, nil, 0, ref.Total())
+			if err != nil {
+				t.Fatalf("%+v: distributed AccessRange: %v", spec, err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%+v: range streams diverge (%d vs %d values)", spec, len(got), len(want))
+			}
+		}
+		// Counts scatter-sum to the single-node answer.
+		wantN, err := local.Count(twoPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, info, err := tc.ce.CountSharded(twoPath, 0, "")
+		if err != nil || gotN != wantN {
+			t.Fatalf("distributed count = %d (%v), want %d", gotN, err, wantN)
+		}
+		if info.Shards != topo.p {
+			t.Fatalf("count info %+v, want %d shards", info, topo.p)
+		}
+		// Select delegates to the distributed access path.
+		sspec := engine.Spec{Query: twoPath, Order: "x, y, z"}
+		want, err1 := local.Select(sspec, 3)
+		got, err2 := tc.ce.Select(sspec, 3)
+		if err1 != nil || err2 != nil || fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("Select: %v (%v), want %v (%v)", got, err2, want, err1)
+		}
+		// The coordinator owns no data: mutations are refused.
+		if err := tc.ce.AddRows("R", [][]int64{{1, 2}}); !errors.Is(err, engine.ErrReadOnly) {
+			t.Fatalf("coordinator AddRows = %v, want ErrReadOnly", err)
+		}
+	}
+}
+
+// postBody POSTs JSON and returns (status, raw body).
+func postBody(t *testing.T, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestDistributedHTTPByteIdentity pins the strongest form of the
+// contract: the HTTP response BYTES from a coordinator are identical
+// to a single-node sharded server's, for the one-shot endpoints and a
+// full NDJSON cursor drain.
+func TestDistributedHTTPByteIdentity(t *testing.T) {
+	const p = 3
+	tc := startCluster(t, 2, p, nil)
+	dist := httptest.NewServer(serve.NewHandler(tc.ce))
+	defer dist.Close()
+	local := httptest.NewServer(serve.NewHandler(engine.New(testInstance(), engine.Options{})))
+	defer local.Close()
+
+	// Identical request bodies: the coordinator ignores the client's
+	// shard count (the cluster config fixes P), the local server
+	// honors it — posting shards=P to both makes the echoes line up.
+	reqs := []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/instance/access", map[string]any{
+			"query": twoPath, "order": "x, y, z", "shards": p,
+			"ks": []int64{0, 1, 17, 100, 1 << 40, -3},
+		}},
+		{"/v1/instance/access", map[string]any{
+			"query": "Q(x, y) :- R(x, y)", "sum_by": []string{"x", "y"}, "shards": p,
+			"ks": []int64{0, 5, 9},
+		}},
+		{"/v1/instance/range", map[string]any{
+			"query": twoPath, "order": "y desc, x", "shards": p, "k0": 3, "k1": 60,
+		}},
+		{"/v1/instance/count", map[string]any{"query": twoPath, "shards": p}},
+	}
+	for _, r := range reqs {
+		ds, db, _ := postBody(t, dist.URL+r.path, r.body)
+		ls, lb, _ := postBody(t, local.URL+r.path, r.body)
+		if ds != ls {
+			t.Fatalf("%s: distributed %d, local %d (%s vs %s)", r.path, ds, ls, db, lb)
+		}
+		if !bytes.Equal(db, lb) {
+			t.Fatalf("%s: bodies diverge:\ndistributed: %s\nlocal:       %s", r.path, db, lb)
+		}
+	}
+
+	// NDJSON stream: register the same query on both servers, drain the
+	// cursor in one read, diff the streams byte for byte.
+	drain := func(srv *httptest.Server) []byte {
+		reg := map[string]any{"name": "stream", "query": twoPath, "order": "x, y, z", "shards": p}
+		if st, body, _ := postBody(t, srv.URL+"/v1/queries", reg); st != http.StatusOK && st != http.StatusCreated {
+			t.Fatalf("register: %d %s", st, body)
+		}
+		var cr struct {
+			Cursor string `json:"cursor"`
+		}
+		st, body, _ := postBody(t, srv.URL+"/v1/queries/stream/cursor", map[string]any{})
+		if st != http.StatusOK && st != http.StatusCreated {
+			t.Fatalf("cursor create: %d %s", st, body)
+		}
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/cursors/"+cr.Cursor+"/next?n=1000000", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		stream, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cursor next: %d %s", resp.StatusCode, stream)
+		}
+		return stream
+	}
+	dStream, lStream := drain(dist), drain(local)
+	if len(dStream) == 0 {
+		t.Fatal("empty NDJSON stream")
+	}
+	if !bytes.Equal(dStream, lStream) {
+		t.Fatalf("NDJSON streams diverge: %d vs %d bytes", len(dStream), len(lStream))
+	}
+}
+
+// TestDistributedRPCBudget pins the paper's complexity promise at the
+// network layer: one Access(k) costs at most ⌈log2(n)⌉+P scatter
+// ROUNDS (each round = one batched rank RPC per node), plus at most
+// rounds+1 single-shard access RPCs in total. If someone replaces the
+// rank-merge binary search with a gather-everything approach, this
+// fails loudly.
+func TestDistributedRPCBudget(t *testing.T) {
+	const p = 4
+	tc := startCluster(t, 2, p, nil)
+	spec := engine.Spec{Query: twoPath, Order: "x, y, z"}
+	h, err := tc.ce.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.Total()
+	bound := int64(math.Ceil(math.Log2(float64(total)))) + p
+
+	snap := func() (rank, acc []uint64) {
+		for _, peer := range tc.coord.Table().Peers {
+			st := peer.Client.Stats()
+			rank = append(rank, st.Calls[rpc.KindRank])
+			acc = append(acc, st.Calls[rpc.KindAccess])
+		}
+		return rank, acc
+	}
+	for _, k := range []int64{0, total / 3, total - 1} {
+		rank0, acc0 := snap()
+		if _, err := h.Access(k); err != nil {
+			t.Fatalf("Access(%d): %v", k, err)
+		}
+		rank1, acc1 := snap()
+		var rounds, accesses uint64
+		for i := range rank0 {
+			d := rank1[i] - rank0[i]
+			if d > rounds {
+				rounds = d
+			}
+			accesses += acc1[i] - acc0[i]
+		}
+		if rounds > uint64(bound) {
+			t.Fatalf("Access(%d) took %d scatter rounds over n=%d, bound %d", k, rounds, total, bound)
+		}
+		if accesses > rounds+1 {
+			t.Fatalf("Access(%d) issued %d access RPCs for %d rounds", k, accesses, rounds)
+		}
+	}
+}
+
+// TestDeadNodeDegradation kills one node of a live cluster and pins
+// the failure contract: queries fail fast with ErrUnavailable (HTTP
+// 503 + Retry-After), and the prober flips the coordinator's readiness.
+func TestDeadNodeDegradation(t *testing.T) {
+	tc := startCluster(t, 2, 2, nil)
+	spec := engine.Spec{Query: twoPath, Order: "x, y, z"}
+	h, err := tc.ce.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Access(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for readiness first so the flip below is provably caused by
+	// the kill, not by the prober never having run.
+	waitFor(t, "cluster ready", func() bool { return len(tc.coord.ReadyReasons()) == 0 })
+
+	// Kill node 1: its pooled connections die with the server, so even
+	// warm paths hit the retry-once-then-fail contract.
+	_ = tc.servers[1].Close()
+
+	if _, err := h.Access(0); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("Access over dead node = %v, want ErrUnavailable", err)
+	}
+	// A fresh spec cannot even prepare.
+	if _, err := tc.ce.Prepare(engine.Spec{Query: twoPath, Order: "z, x, y"}); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("Prepare over dead node = %v, want ErrUnavailable", err)
+	}
+
+	// HTTP surface: 503 with Retry-After, and /readyz flips once the
+	// prober notices.
+	srv := httptest.NewServer(serve.NewHandlerWith(tc.ce, serve.Config{ReadyCheck: tc.coord.ReadyReasons}))
+	defer srv.Close()
+	st, _, hdr := postBody(t, srv.URL+"/v1/instance/access", map[string]any{
+		"query": twoPath, "order": "x, y, z", "ks": []int64{0},
+	})
+	if st != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("access over dead node: status %d, Retry-After %q", st, hdr.Get("Retry-After"))
+	}
+	waitFor(t, "prober flips readiness", func() bool { return len(tc.coord.ReadyReasons()) > 0 })
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with a dead node = %d, want 503", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFaultInjectedBoot boots a cluster behind a dropping listener:
+// nothing works, then clearing the fault restores service with no
+// intervention — the client pools and prober recover on their own.
+func TestFaultInjectedBoot(t *testing.T) {
+	var faults []*rpc.FaultListener
+	tc := startCluster(t, 2, 2, func(l net.Listener) net.Listener {
+		fl := rpc.NewFaultListener(l)
+		fl.SetMode(rpc.FaultDrop)
+		faults = append(faults, fl)
+		return fl
+	})
+	spec := engine.Spec{Query: twoPath, Order: "x, y, z"}
+	if _, err := tc.ce.Prepare(spec); !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("Prepare through dropping listeners = %v, want ErrUnavailable", err)
+	}
+	for _, fl := range faults {
+		fl.SetMode(rpc.FaultNone)
+	}
+	h, err := tc.ce.Prepare(spec)
+	if err != nil {
+		t.Fatalf("Prepare after clearing faults: %v", err)
+	}
+	if _, err := h.Access(0); err != nil {
+		t.Fatalf("Access after clearing faults: %v", err)
+	}
+	waitFor(t, "prober sees recovery", func() bool { return len(tc.coord.ReadyReasons()) == 0 })
+}
+
+// TestStaleVersionAfterNodeMutation pins the documented limitation:
+// mutating a shard node under a live coordinator invalidates the
+// coordinator's cached handles permanently — honest ErrStaleVersion
+// (HTTP 410 Gone), never silently mixed-version answers.
+func TestStaleVersionAfterNodeMutation(t *testing.T) {
+	tc := startCluster(t, 2, 2, nil)
+	srv := httptest.NewServer(serve.NewHandler(tc.ce))
+	defer srv.Close()
+	reg := map[string]any{"name": "q", "query": twoPath, "order": "x, y, z"}
+	if st, body, _ := postBody(t, srv.URL+"/v1/queries", reg); st != http.StatusOK && st != http.StatusCreated {
+		t.Fatalf("register: %d %s", st, body)
+	}
+	h, err := tc.ce.Prepare(engine.Spec{Query: twoPath, Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Access(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate node 0 out from under the coordinator.
+	if err := tc.engines[0].AddRows("R", [][]int64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := h.Access(0); !errors.Is(err, rpc.ErrStaleVersion) {
+		t.Fatalf("Access after node mutation = %v, want ErrStaleVersion", err)
+	}
+	st, body, _ := postBody(t, srv.URL+"/v1/queries/q/access", map[string]any{"ks": []int64{0}})
+	if st != http.StatusGone {
+		t.Fatalf("v1 access after node mutation = %d %s, want 410", st, body)
+	}
+}
+
+// TestConfigPlacement covers the config layer: explicit placement must
+// partition exactly, defaults are rendezvous-stable, and malformed
+// layouts are rejected with reasons.
+func TestConfigPlacement(t *testing.T) {
+	// Rendezvous default: deterministic, covers every shard.
+	c1, err := Parse([]byte(`{"shards": 8, "nodes": [{"addr": "a:1"}, {"addr": "b:1"}, {"addr": "c:1"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse([]byte(`{"shards": 8, "nodes": [{"addr": "a:1"}, {"addr": "b:1"}, {"addr": "c:1"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := 0
+	for i := range c1.Nodes {
+		owned += len(c1.Nodes[i].Shards)
+		if fmt.Sprint(c1.Nodes[i].Shards) != fmt.Sprint(c2.Nodes[i].Shards) {
+			t.Fatalf("rendezvous placement not deterministic: %v vs %v", c1.Nodes[i].Shards, c2.Nodes[i].Shards)
+		}
+	}
+	if owned != 8 {
+		t.Fatalf("rendezvous placed %d of 8 shards", owned)
+	}
+	for s := 0; s < 8; s++ {
+		ni := c1.Owner(s)
+		found := false
+		for _, o := range c1.Nodes[ni].Shards {
+			found = found || o == s
+		}
+		if !found {
+			t.Fatalf("Owner(%d) = node %d, which does not list it", s, ni)
+		}
+	}
+
+	for _, bad := range []string{
+		`{"shards": 0, "nodes": [{"addr": "a:1"}]}`,
+		`{"shards": 2, "nodes": []}`,
+		`{"shards": 2, "nodes": [{"addr": "a:1"}, {"addr": "a:1"}]}`,
+		`{"shards": 2, "nodes": [{"addr": "a:1", "shards": [0]}, {"addr": "b:1"}]}`,
+		`{"shards": 2, "nodes": [{"addr": "a:1", "shards": [0, 1]}, {"addr": "b:1", "shards": [1]}]}`,
+		`{"shards": 3, "nodes": [{"addr": "a:1", "shards": [0, 1]}, {"addr": "b:1", "shards": [1]}]}`,
+		`{"shards": 2, "nodes": [{"addr": "a:1", "shards": [0, 7]}, {"addr": "b:1", "shards": [1]}]}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Fatalf("Parse accepted %s", bad)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package cluster is the multi-node distributed serving layer: a
+// static shard placement (config.go), a routing table with health
+// probing (table.go), the node-side RPC backend over a local engine
+// (node.go), and the coordinator that plans specs and scatter-gathers
+// ranked access over the nodes (coordinator.go).
+//
+// The placement is static: a JSON config fixes the cluster-wide shard
+// count P and which node owns which shard indices. Every answer of a
+// distributed query lives in exactly one shard (internal/shard's
+// partitioning invariant), so the coordinator can merge per-shard
+// ranked structures into the global order without any cross-node
+// answer movement. Replication and rebalancing are out of scope;
+// within-request failover is retry-once at the RPC layer, after which
+// the request fails fast and the health prober flips the coordinator's
+// readiness.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+
+	"rankedaccess/internal/shard"
+)
+
+// NodeConfig is one node's entry in the cluster config.
+type NodeConfig struct {
+	// Addr is the node's RPC address (host:port).
+	Addr string `json:"addr"`
+	// Shards lists the shard indices in [0, Shards) the node owns.
+	// Either every node lists its shards (and together they must
+	// partition [0, Shards) exactly), or no node does and placement
+	// defaults to rendezvous hashing over (addr, shard).
+	Shards []int `json:"shards,omitempty"`
+}
+
+// Config is a parsed, validated cluster layout. After Parse, every
+// node's Shards list is populated (defaults resolved) and sorted.
+type Config struct {
+	// Shards is the cluster-wide shard count P.
+	Shards int `json:"shards"`
+	// Nodes are the shard nodes.
+	Nodes []NodeConfig `json:"nodes"`
+
+	// owner maps shard index to index into Nodes.
+	owner []int
+}
+
+// Owner returns the index into Nodes of the node owning the shard.
+func (c *Config) Owner(s int) int { return c.owner[s] }
+
+// Load reads and parses a cluster config file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: config %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Parse parses and validates a cluster config: shard count within the
+// shard package's bound, at least one node, unique non-empty
+// addresses, and a placement that is either fully explicit (the nodes'
+// shard lists partition [0, Shards) exactly) or fully defaulted
+// (rendezvous hashing, so adding a node moves only the shards it
+// wins).
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	if c.Shards < 1 || c.Shards > shard.MaxShards {
+		return nil, fmt.Errorf("shard count %d outside [1, %d]", c.Shards, shard.MaxShards)
+	}
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("no nodes")
+	}
+	seen := make(map[string]bool, len(c.Nodes))
+	explicit := 0
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.Addr == "" {
+			return nil, fmt.Errorf("node %d has no addr", i)
+		}
+		if seen[n.Addr] {
+			return nil, fmt.Errorf("duplicate node addr %q", n.Addr)
+		}
+		seen[n.Addr] = true
+		if len(n.Shards) > 0 {
+			explicit++
+		}
+	}
+	switch explicit {
+	case 0:
+		c.placeByRendezvous()
+	case len(c.Nodes):
+		if err := c.checkExplicit(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("either every node must list its shards or none may")
+	}
+	for i := range c.Nodes {
+		sort.Ints(c.Nodes[i].Shards)
+	}
+	return &c, nil
+}
+
+// checkExplicit validates an explicit placement: together the nodes'
+// shard lists must cover every index in [0, Shards) exactly once.
+func (c *Config) checkExplicit() error {
+	c.owner = make([]int, c.Shards)
+	for i := range c.owner {
+		c.owner[i] = -1
+	}
+	for ni := range c.Nodes {
+		for _, s := range c.Nodes[ni].Shards {
+			if s < 0 || s >= c.Shards {
+				return fmt.Errorf("node %s: shard %d outside [0, %d)", c.Nodes[ni].Addr, s, c.Shards)
+			}
+			if c.owner[s] >= 0 {
+				return fmt.Errorf("shard %d owned by both %s and %s", s, c.Nodes[c.owner[s]].Addr, c.Nodes[ni].Addr)
+			}
+			c.owner[s] = ni
+		}
+	}
+	for s, ni := range c.owner {
+		if ni < 0 {
+			return fmt.Errorf("shard %d owned by no node", s)
+		}
+	}
+	return nil
+}
+
+// placeByRendezvous assigns every shard to the node with the highest
+// hash of (addr, shard) — the standard rendezvous (highest-random-
+// weight) placement, chosen because it is deterministic from the
+// config alone and minimizes movement when the node set changes.
+func (c *Config) placeByRendezvous() {
+	c.owner = make([]int, c.Shards)
+	for s := 0; s < c.Shards; s++ {
+		best, bestScore := 0, uint64(0)
+		for ni := range c.Nodes {
+			score := rendezvousScore(c.Nodes[ni].Addr, s)
+			if ni == 0 || score > bestScore {
+				best, bestScore = ni, score
+			}
+		}
+		c.owner[s] = best
+		c.Nodes[best].Shards = append(c.Nodes[best].Shards, s)
+	}
+}
+
+func rendezvousScore(addr string, s int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	h.Write([]byte{0, byte(s), byte(s >> 8), byte(s >> 16), byte(s >> 24)})
+	return h.Sum64()
+}

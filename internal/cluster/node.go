@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/rpc"
+	"rankedaccess/internal/shard"
+)
+
+// maxNodeBuilds bounds the node's build cache; above it, builds for
+// stale versions are evicted first, then arbitrary entries.
+const maxNodeBuilds = 64
+
+// Node serves the shard-node side of the RPC protocol over a local
+// engine: it builds and caches the owned slice of each distributed
+// spec and answers stateless probes against it. Every probe carries
+// the full spec, so a node that lost a build (restart, eviction)
+// silently reconstructs it; probes also carry the instance version the
+// coordinator prepared against, and a node whose data moved on answers
+// rpc.ErrStaleVersion instead of mixing epochs.
+type Node struct {
+	e *engine.Engine
+
+	mu     sync.Mutex
+	builds map[string]*buildEntry
+}
+
+// buildEntry is one cached owned-shard build, single-flighted so
+// concurrent probes for a missing spec build once.
+type buildEntry struct {
+	once sync.Once
+	nb   *engine.NodeBuild
+	err  error
+}
+
+// NewNode wraps an engine as an RPC backend.
+func NewNode(e *engine.Engine) *Node {
+	return &Node{e: e, builds: make(map[string]*buildEntry)}
+}
+
+var _ rpc.Backend = (*Node)(nil)
+
+// validate pre-checks the parts of a spec whose failure is the
+// caller's fault, so they surface as bad-request, not internal.
+func validate(es engine.Spec, p int, shardVar string) error {
+	ps, err := engine.ParseSpec(es)
+	if err != nil {
+		return &rpc.BadRequestError{Msg: err.Error()}
+	}
+	if ps.HasFDs {
+		return &rpc.BadRequestError{Msg: "distributed serving does not support FD specs"}
+	}
+	if _, err := shard.Choose(ps.Q, shardVar, p); err != nil {
+		return &rpc.BadRequestError{Msg: err.Error()}
+	}
+	return nil
+}
+
+// getBuild returns the cached build for the spec, building it if the
+// node has never seen it (or evicted it) — the stateless-probe
+// guarantee. A cached build for an older instance version is replaced.
+func (n *Node) getBuild(ctx context.Context, spec rpc.Spec) (*engine.NodeBuild, error) {
+	es := engine.Spec{Query: spec.Query, Order: spec.Order, SumBy: spec.SumBy, FDs: spec.FDs}
+	key := spec.Key()
+	cur := n.e.Version()
+
+	n.mu.Lock()
+	ent, ok := n.builds[key]
+	if ok && ent.nb != nil && ent.nb.Version != cur {
+		ok = false // stale build: rebuild against the current epoch
+	}
+	if !ok {
+		ent = &buildEntry{}
+		n.builds[key] = ent
+		n.evictLocked(key, cur)
+	}
+	n.mu.Unlock()
+
+	ent.once.Do(func() {
+		if err := validate(es, spec.P, spec.ShardVar); err != nil {
+			ent.err = err
+			return
+		}
+		ent.nb, ent.err = n.e.BuildOwned(ctx, es, spec.P, spec.ShardVar, spec.Owned)
+	})
+	if ent.err != nil {
+		// Failed entries are not cached: the next probe retries.
+		n.mu.Lock()
+		if n.builds[key] == ent {
+			delete(n.builds, key)
+		}
+		n.mu.Unlock()
+		return nil, ent.err
+	}
+	return ent.nb, nil
+}
+
+// evictLocked keeps the build cache bounded. Called with n.mu held,
+// keep names the entry that must survive.
+func (n *Node) evictLocked(keep string, cur uint64) {
+	if len(n.builds) <= maxNodeBuilds {
+		return
+	}
+	for k, ent := range n.builds {
+		if k != keep && ent.nb != nil && ent.nb.Version != cur {
+			delete(n.builds, k)
+			if len(n.builds) <= maxNodeBuilds {
+				return
+			}
+		}
+	}
+	for k := range n.builds {
+		if k != keep {
+			delete(n.builds, k)
+			if len(n.builds) <= maxNodeBuilds {
+				return
+			}
+		}
+	}
+}
+
+// getVersioned is getBuild plus the version check every probe makes.
+func (n *Node) getVersioned(ctx context.Context, spec rpc.Spec, version uint64) (*engine.NodeBuild, error) {
+	nb, err := n.getBuild(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if nb.Version != version {
+		return nil, rpc.ErrStaleVersion
+	}
+	return nb, nil
+}
+
+// Prepare builds (or reuses) the owned shards and reports the build's
+// identity and per-shard totals.
+func (n *Node) Prepare(ctx context.Context, spec rpc.Spec) (*rpc.PrepareInfo, error) {
+	nb, err := n.getBuild(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	info := &rpc.PrepareInfo{
+		Version:   nb.Version,
+		Mode:      string(nb.Mode),
+		Completed: nb.Completed.Entries,
+		Totals:    make([]int64, len(spec.Owned)),
+	}
+	for i, s := range spec.Owned {
+		t, err := nb.Owned.Total(s)
+		if err != nil {
+			return nil, err
+		}
+		info.Totals[i] = t
+	}
+	return info, nil
+}
+
+// Count counts the owned shards' answers at the node's current
+// version (counts are scatter-time consistent per node, not globally
+// transactional — the cluster has no cross-node snapshot).
+func (n *Node) Count(ctx context.Context, spec rpc.CountSpec) (int64, error) {
+	if err := validate(engine.Spec{Query: spec.Query}, spec.P, spec.ShardVar); err != nil {
+		return 0, err
+	}
+	nres, _, err := n.e.CountOwned(spec.Query, spec.P, spec.ShardVar, spec.Owned)
+	return nres, err
+}
+
+// Rank prices a on every owned shard in one call — the node-local half
+// of the coordinator's one-scatter-round rank pricing.
+func (n *Node) Rank(ctx context.Context, spec rpc.Spec, version uint64, a order.Answer) ([]int64, bool, error) {
+	nb, err := n.getVersioned(ctx, spec, version)
+	if err != nil {
+		return nil, false, err
+	}
+	ranks := make([]int64, len(spec.Owned))
+	exact, err := nb.Owned.RankAll(a, spec.Owned, ranks)
+	if err != nil {
+		return nil, false, err
+	}
+	return ranks, exact, nil
+}
+
+// Access returns one owned shard's k-th local answer.
+func (n *Node) Access(ctx context.Context, spec rpc.Spec, version uint64, s int, k int64) (order.Answer, error) {
+	nb, err := n.getVersioned(ctx, spec, version)
+	if err != nil {
+		return nil, err
+	}
+	return nb.Owned.Access(s, k)
+}
+
+// Range returns one owned shard's local answers k0 ≤ k < k1.
+func (n *Node) Range(ctx context.Context, spec rpc.Spec, version uint64, s int, k0, k1 int64) ([]order.Answer, error) {
+	nb, err := n.getVersioned(ctx, spec, version)
+	if err != nil {
+		return nil, err
+	}
+	return nb.Owned.Range(s, k0, k1)
+}
+
+// Stats reports the node's identity counters.
+func (n *Node) Stats(ctx context.Context) (*rpc.PeerStats, error) {
+	st := n.e.Stats()
+	n.mu.Lock()
+	builds := len(n.builds)
+	n.mu.Unlock()
+	return &rpc.PeerStats{Version: st.Version, Tuples: int64(st.Tuples), Builds: int64(builds)}, nil
+}
+
+// Health reports the node's readiness. A node that can answer the RPC
+// is serving; engine-level degradation (WAL errors) is reported as a
+// reason without flipping readiness — degraded reads beat no reads.
+func (n *Node) Health(ctx context.Context) (*rpc.HealthInfo, error) {
+	h := n.e.Health()
+	info := &rpc.HealthInfo{Ready: true}
+	if h.WALBroken {
+		info.Reasons = append(info.Reasons, "WAL broken; writes shedding")
+	}
+	if h.MaxOverlayEdits >= h.DeltaHard {
+		info.Reasons = append(info.Reasons, fmt.Sprintf("rebuild backlog: overlay at %d edits (hard limit %d)", h.MaxOverlayEdits, h.DeltaHard))
+	}
+	return info, nil
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rankedaccess/internal/rpc"
+)
+
+// Peer is one shard node as seen from the coordinator: its RPC client,
+// the shards it owns, and its probed health.
+type Peer struct {
+	// Addr is the node's RPC address.
+	Addr string
+	// Shards are the shard indices the node owns (sorted).
+	Shards []int
+	// Client is the pooled RPC client for the node.
+	Client *rpc.Client
+
+	mu     sync.Mutex
+	up     bool
+	reason string
+}
+
+// Up reports the peer's last probed health. Peers start down and flip
+// up on their first successful probe, so readiness is earned, never
+// assumed.
+func (p *Peer) Up() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up
+}
+
+func (p *Peer) setHealth(up bool, reason string) {
+	p.mu.Lock()
+	p.up, p.reason = up, reason
+	p.mu.Unlock()
+}
+
+// Table is the coordinator's routing table: one peer per configured
+// node, plus the shard→peer mapping.
+type Table struct {
+	// Config is the validated cluster layout the table was built from.
+	Config *Config
+	// Peers are the nodes, aligned with Config.Nodes.
+	Peers []*Peer
+}
+
+// NewTable builds the routing table and its RPC clients (lazily
+// dialed — constructing the table performs no I/O).
+func NewTable(cfg *Config, opts rpc.Options) *Table {
+	t := &Table{Config: cfg, Peers: make([]*Peer, len(cfg.Nodes))}
+	for i, n := range cfg.Nodes {
+		t.Peers[i] = &Peer{
+			Addr:   n.Addr,
+			Shards: n.Shards,
+			Client: rpc.NewClient(n.Addr, opts),
+		}
+	}
+	return t
+}
+
+// Owner returns the peer owning the given shard.
+func (t *Table) Owner(s int) *Peer { return t.Peers[t.Config.Owner(s)] }
+
+// ReadyReasons returns one reason per down peer (empty when the whole
+// cluster is reachable) — the coordinator's readiness contribution.
+func (t *Table) ReadyReasons() []string {
+	var out []string
+	for _, p := range t.Peers {
+		p.mu.Lock()
+		if !p.up {
+			r := p.reason
+			if r == "" {
+				r = "not yet probed"
+			}
+			out = append(out, fmt.Sprintf("shard node %s: %s", p.Addr, r))
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// Close closes every peer's client (and their pooled connections).
+func (t *Table) Close() {
+	for _, p := range t.Peers {
+		p.Client.Close()
+	}
+}
+
+// Prober periodically health-checks every peer and maintains the
+// peers' up/down state. Probing is per-peer with capped exponential
+// backoff: a healthy peer is re-checked at the steady interval, an
+// unhealthy one is retried quickly at first and then at the cap, so a
+// restarted node is noticed in seconds without hammering a dead one.
+type Prober struct {
+	t      *Table
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	steady time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// StartProber begins probing all peers immediately. Close stops it.
+func (t *Table) StartProber() *Prober {
+	p := &Prober{
+		t:      t,
+		stop:   make(chan struct{}),
+		steady: 2 * time.Second,
+		min:    250 * time.Millisecond,
+		max:    5 * time.Second,
+	}
+	for _, peer := range t.Peers {
+		p.wg.Add(1)
+		go p.run(peer)
+	}
+	return p
+}
+
+func (p *Prober) run(peer *Peer) {
+	defer p.wg.Done()
+	backoff := p.min
+	timer := time.NewTimer(0) // first probe fires immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		h, err := peer.Client.Health(ctx)
+		cancel()
+		switch {
+		case err != nil:
+			peer.setHealth(false, fmt.Sprintf("health probe failed: %v", err))
+			backoff = min(backoff*2, p.max)
+			timer.Reset(backoff)
+		case !h.Ready:
+			peer.setHealth(false, "node not ready: "+joinReasons(h.Reasons))
+			backoff = min(backoff*2, p.max)
+			timer.Reset(backoff)
+		default:
+			peer.setHealth(true, "")
+			backoff = p.min
+			timer.Reset(p.steady)
+		}
+	}
+}
+
+func joinReasons(rs []string) string {
+	if len(rs) == 0 {
+		return "unspecified"
+	}
+	out := rs[0]
+	for _, r := range rs[1:] {
+		out += "; " + r
+	}
+	return out
+}
+
+// Close stops the prober and waits for in-flight probes to finish.
+func (p *Prober) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}

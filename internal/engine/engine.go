@@ -106,6 +106,13 @@ type Options struct {
 	// paid for it. Nil disables engine logging; the hot probe paths
 	// never log either way.
 	Logger *slog.Logger
+	// Remote, when non-nil, turns the engine into a distributed
+	// coordinator: Prepare delegates planning and building to the
+	// RemoteBuilder, Count scatters to the cluster, and the write path
+	// returns ErrReadOnly (the coordinator owns no data). All caching,
+	// single-flight, registry, and cursor machinery still applies —
+	// remote handles are cached and shared like local ones.
+	Remote RemoteBuilder
 }
 
 // Spec identifies a ranked-access request against the engine's instance.
@@ -504,6 +511,10 @@ type Engine struct {
 	// logging is off.
 	log *slog.Logger
 
+	// remote, when non-nil, makes this a coordinator engine (see
+	// Options.Remote).
+	remote RemoteBuilder
+
 	// rmu guards the named-query registry.
 	rmu      sync.Mutex
 	registry map[string]*PreparedQuery
@@ -556,6 +567,7 @@ func New(in *database.Instance, opts Options) *Engine {
 		life:         life,
 		stop:         stop,
 		log:          opts.Logger,
+		remote:       opts.Remote,
 		cache:        newLRU(size),
 		flights:      make(map[string]*flight),
 		bgRebuilding: make(map[string]bool),
@@ -574,6 +586,9 @@ func (e *Engine) versionNow() uint64 { return e.vnow.Load() }
 // structures are NOT purged: the next request for one catches up from
 // the log — see the package comment.
 func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
+	if e.remote != nil {
+		return 0, ErrReadOnly
+	}
 	for i := range muts {
 		if err := muts[i].Validate(); err != nil {
 			return 0, fmt.Errorf("engine: %w", err)
@@ -1109,6 +1124,9 @@ func (e *Engine) logBuild(ctx context.Context, s Spec, version uint64, rebuild b
 // every preprocessing wave boundary; the other structure kinds check it
 // once before their (uninterruptible) construction.
 func (e *Engine) build(ctx context.Context, s Spec) (*Handle, error) {
+	if e.remote != nil {
+		return e.buildRemote(ctx, s)
+	}
 	p, err := s.parse()
 	if err != nil {
 		return nil, err
@@ -1370,6 +1388,9 @@ func (e *Engine) AccessRange(s Spec, dst []values.Value, k0, k1 int64) (*Handle,
 // Select answers the one-shot selection problem — O(n) for lex orders,
 // O(n log n) for SUM — without building or caching any structure.
 func (e *Engine) Select(s Spec, k int64) ([]values.Value, error) {
+	if e.remote != nil {
+		return e.selectRemote(s, k)
+	}
 	p, err := s.parse()
 	if err != nil {
 		return nil, err
@@ -1427,6 +1448,11 @@ type CountInfo struct {
 // the returned CountInfo; an explicit partition variable that is not a
 // free variable of the query is an error.
 func (e *Engine) CountSharded(query string, shards int, by string) (int64, CountInfo, error) {
+	if e.remote != nil {
+		// A coordinator counts by scatter-gather over its cluster; the
+		// cluster's own shard count applies, not the request's.
+		return e.remote.CountRemote(context.Background(), query, by)
+	}
 	var info CountInfo
 	q, err := cq.Parse(query)
 	if err != nil {

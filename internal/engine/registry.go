@@ -143,6 +143,9 @@ func (pq *PreparedQuery) reprepare(ctx context.Context) (*Handle, uint64, error)
 // spec (O(n) lex / O(n log n) SUM, no structure built), reusing the
 // registration-time parse.
 func (pq *PreparedQuery) Select(k int64) ([]values.Value, error) {
+	if pq.e.remote != nil {
+		return pq.e.selectRemote(pq.spec, k)
+	}
 	return pq.e.selectParsed(pq.p, k)
 }
 

@@ -1,0 +1,498 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/metrics"
+	"rankedaccess/internal/order"
+)
+
+// Options tunes a Client. The zero value picks the defaults below.
+type Options struct {
+	// DialTimeout bounds connection establishment (handshake
+	// included); 2s when 0.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline applied when the caller's
+	// context has none; 10s when 0. Probes issued from the shard merge
+	// layer carry no context, so this is their effective deadline.
+	CallTimeout time.Duration
+	// MaxIdle bounds the pooled idle connections per peer; 4 when 0.
+	MaxIdle int
+	// IdleTimeout is how long an idle pooled connection survives
+	// before the reaper closes it; 60s when 0.
+	IdleTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.MaxIdle <= 0 {
+		o.MaxIdle = 4
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// pconn is one pooled connection with its buffered reader.
+type pconn struct {
+	c    net.Conn
+	br   *bufio.Reader
+	last time.Time
+}
+
+// CallStats counts a client's calls and failures per kind, always on
+// (atomic counters), for tests and diagnostics independent of any
+// metrics registry.
+type CallStats struct {
+	Calls  [8]uint64 // indexed by Kind
+	Errors [8]uint64
+}
+
+// Client issues typed calls to one peer over pooled connections. It is
+// safe for concurrent use; concurrent calls use separate connections.
+// Transport-level failures are retried once on a fresh connection
+// (every call is an idempotent read), then surfaced as ErrUnavailable.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*pconn
+	closed bool
+
+	seq   atomic.Uint64
+	calls [8]atomic.Uint64
+	errs  [8]atomic.Uint64
+
+	m atomic.Pointer[ClientMetrics]
+
+	reapStop chan struct{}
+	reapOnce sync.Once
+}
+
+// NewClient returns a client for the peer at addr. Connections are
+// dialed lazily; the idle reaper starts with the first call.
+func NewClient(addr string, opts Options) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults(), reapStop: make(chan struct{})}
+}
+
+// Addr returns the peer address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// SetMetrics attaches per-peer instruments (see NewClientMetrics);
+// nil detaches. Safe to call at any time.
+func (c *Client) SetMetrics(m *ClientMetrics) { c.m.Store(m) }
+
+// Stats snapshots the per-kind call counters.
+func (c *Client) Stats() CallStats {
+	var s CallStats
+	for i := range s.Calls {
+		s.Calls[i] = c.calls[i].Load()
+		s.Errors[i] = c.errs[i].Load()
+	}
+	return s
+}
+
+// Close releases every pooled connection and stops the reaper. In-
+// flight calls finish on their own connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	close(c.reapStop)
+	for _, pc := range idle {
+		pc.c.Close()
+	}
+}
+
+// get returns a pooled connection or dials a new one. fresh reports
+// that the connection was just dialed (so a transport failure on it is
+// not a stale-pool artifact).
+func (c *Client) get(deadline time.Time) (*pconn, bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	if n := len(c.idle); n > 0 {
+		pc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return pc, false, nil
+	}
+	c.mu.Unlock()
+	return c.dial(deadline)
+}
+
+// dial opens and handshakes a fresh connection.
+func (c *Client) dial(deadline time.Time) (*pconn, bool, error) {
+	dialDeadline := time.Now().Add(c.opts.DialTimeout)
+	if deadline.Before(dialDeadline) {
+		dialDeadline = deadline
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, time.Until(dialDeadline))
+	if err != nil {
+		return nil, true, err
+	}
+	conn.SetDeadline(dialDeadline)
+	if err := writeHandshake(conn); err != nil {
+		conn.Close()
+		return nil, true, err
+	}
+	br := bufio.NewReader(conn)
+	if err := readHandshake(br); err != nil {
+		conn.Close()
+		return nil, true, err
+	}
+	conn.SetDeadline(time.Time{})
+	return &pconn{c: conn, br: br}, true, nil
+}
+
+// put returns a healthy connection to the pool (closing it when the
+// pool is full or the client closed) and lazily starts the reaper.
+func (c *Client) put(pc *pconn) {
+	c.reapOnce.Do(func() { go c.reap() })
+	pc.last = time.Now()
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.opts.MaxIdle {
+		c.mu.Unlock()
+		pc.c.Close()
+		return
+	}
+	c.idle = append(c.idle, pc)
+	c.mu.Unlock()
+}
+
+// reap closes pooled connections idle past IdleTimeout.
+func (c *Client) reap() {
+	t := time.NewTicker(c.opts.IdleTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case now := <-t.C:
+			var dead []*pconn
+			c.mu.Lock()
+			keep := c.idle[:0]
+			for _, pc := range c.idle {
+				if now.Sub(pc.last) > c.opts.IdleTimeout {
+					dead = append(dead, pc)
+				} else {
+					keep = append(keep, pc)
+				}
+			}
+			c.idle = keep
+			c.mu.Unlock()
+			for _, pc := range dead {
+				pc.c.Close()
+			}
+		}
+	}
+}
+
+// call performs one request/response exchange: encode, send, decode
+// status. Transport errors are retried once on a freshly dialed
+// connection; the retry never reuses the pool, so a stale pooled
+// connection cannot fail a call twice.
+func (c *Client) call(ctx context.Context, kind Kind, body func(*enc)) (*dec, error) {
+	c.calls[kind].Add(1)
+	m := c.m.Load()
+	start := time.Now()
+	if m != nil {
+		m.inflight.Inc()
+	}
+	d, err := c.callInner(ctx, kind, body)
+	if m != nil {
+		m.inflight.Dec()
+		m.latency.ObserveDuration(time.Since(start))
+		m.requests[kind].Inc()
+		if err != nil {
+			m.errors[kind].Inc()
+		}
+	}
+	if err != nil {
+		c.errs[kind].Add(1)
+	}
+	return d, err
+}
+
+func (c *Client) callInner(ctx context.Context, kind Kind, body func(*enc)) (*dec, error) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(c.opts.CallTimeout)
+	}
+	reqID := c.seq.Add(1)
+	e := &enc{b: make([]byte, 0, 256)}
+	e.u64(reqID)
+	e.u8(uint8(kind))
+	millis := time.Until(deadline).Milliseconds()
+	if millis < 1 {
+		millis = 1
+	}
+	if millis > 1<<31-1 {
+		millis = 1<<31 - 1
+	}
+	e.u32(uint32(millis))
+	body(e)
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var pc *pconn
+		var err error
+		if attempt == 0 {
+			pc, _, err = c.get(deadline)
+		} else {
+			pc, _, err = c.dial(deadline)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := c.roundTrip(pc, e.b, reqID, kind, deadline)
+		if err != nil {
+			pc.c.Close()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		c.put(pc)
+		return decodeStatus(payload)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.addr, lastErr)
+}
+
+// roundTrip writes the request frame and reads the matching response
+// payload (sans the echoed id/kind header).
+func (c *Client) roundTrip(pc *pconn, req []byte, reqID uint64, kind Kind, deadline time.Time) ([]byte, error) {
+	pc.c.SetDeadline(deadline)
+	defer pc.c.SetDeadline(time.Time{})
+	if err := writeFrame(pc.c, req); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(pc.br)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	gotID, gotKind := d.u64(), Kind(d.u8())
+	if d.bad || gotID != reqID || gotKind != kind {
+		return nil, fmt.Errorf("%w: response for request %d kind %d, want %d kind %d",
+			ErrBadFrame, gotID, gotKind, reqID, kind)
+	}
+	return payload[d.off:], nil
+}
+
+// decodeStatus maps a response status byte back to the caller-visible
+// error; well-known statuses decode to the exact engine sentinels so
+// distributed error behavior matches single-node behavior.
+func decodeStatus(payload []byte) (*dec, error) {
+	d := &dec{b: payload}
+	status := d.u8()
+	if d.bad {
+		return nil, fmt.Errorf("%w: empty response payload", ErrBadFrame)
+	}
+	if status == statusOK {
+		return d, nil
+	}
+	msg := d.str()
+	switch status {
+	case statusOutOfBound:
+		return nil, access.ErrOutOfBound
+	case statusNotAnAnswer:
+		return nil, access.ErrNotAnAnswer
+	case statusStale:
+		return nil, ErrStaleVersion
+	case statusBadRequest:
+		return nil, &BadRequestError{Msg: msg}
+	default:
+		return nil, &RemoteError{Msg: msg}
+	}
+}
+
+// finish validates that a decoded response consumed cleanly.
+func finish(d *dec) error {
+	if err := d.err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Prepare asks the peer to build (or reuse) the owned shard structures
+// for the spec.
+func (c *Client) Prepare(ctx context.Context, spec Spec) (*PrepareInfo, error) {
+	d, err := c.call(ctx, KindPrepare, spec.encode)
+	if err != nil {
+		return nil, err
+	}
+	p := decodePrepareInfo(d)
+	if err := finish(d); err != nil {
+		return nil, err
+	}
+	if len(p.Totals) != len(spec.Owned) {
+		return nil, fmt.Errorf("%w: %d totals for %d owned shards", ErrBadFrame, len(p.Totals), len(spec.Owned))
+	}
+	return p, nil
+}
+
+// Count returns the total answer count over the peer's owned shards.
+func (c *Client) Count(ctx context.Context, spec CountSpec) (int64, error) {
+	d, err := c.call(ctx, KindCount, spec.encode)
+	if err != nil {
+		return 0, err
+	}
+	n := d.i64()
+	return n, finish(d)
+}
+
+// Rank prices the answer on every owned shard: ranks is aligned with
+// the spec's Owned slice, exact reports whether some owned shard holds
+// the answer.
+func (c *Client) Rank(ctx context.Context, spec Spec, version uint64, a order.Answer) (ranks []int64, exact bool, err error) {
+	d, err := c.call(ctx, KindRank, func(e *enc) {
+		spec.encode(e)
+		e.u64(version)
+		e.answer(a)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	ranks = d.i64s()
+	exact = d.u8() != 0
+	if err := finish(d); err != nil {
+		return nil, false, err
+	}
+	if len(ranks) != len(spec.Owned) {
+		return nil, false, fmt.Errorf("%w: %d ranks for %d owned shards", ErrBadFrame, len(ranks), len(spec.Owned))
+	}
+	return ranks, exact, nil
+}
+
+// Access returns one shard's k-th local answer (full answer width,
+// all query variables).
+func (c *Client) Access(ctx context.Context, spec Spec, version uint64, shard int, k int64) (order.Answer, error) {
+	d, err := c.call(ctx, KindAccess, func(e *enc) {
+		spec.encode(e)
+		e.u64(version)
+		e.u32(uint32(shard))
+		e.i64(k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := d.answer()
+	return a, finish(d)
+}
+
+// Range returns one shard's local answers k0 ≤ k < k1 in order.
+func (c *Client) Range(ctx context.Context, spec Spec, version uint64, shard int, k0, k1 int64) ([]order.Answer, error) {
+	d, err := c.call(ctx, KindRange, func(e *enc) {
+		spec.encode(e)
+		e.u64(version)
+		e.u32(uint32(shard))
+		e.i64(k0)
+		e.i64(k1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	width := int(d.u32())
+	count := d.count(8 * max(width, 1))
+	if d.bad {
+		return nil, finish(d)
+	}
+	out := make([]order.Answer, count)
+	flat := make([]int64, count*width)
+	for i := range out {
+		row := flat[i*width : (i+1)*width]
+		for j := range row {
+			row[j] = d.i64()
+		}
+		out[i] = row
+	}
+	return out, finish(d)
+}
+
+// StatsCall returns the peer's node-level counters.
+func (c *Client) StatsCall(ctx context.Context) (*PeerStats, error) {
+	d, err := c.call(ctx, KindStats, func(*enc) {})
+	if err != nil {
+		return nil, err
+	}
+	st := &PeerStats{Version: d.u64(), Tuples: d.i64(), Builds: d.i64()}
+	return st, finish(d)
+}
+
+// Health returns the peer's readiness.
+func (c *Client) Health(ctx context.Context) (*HealthInfo, error) {
+	d, err := c.call(ctx, KindHealth, func(*enc) {})
+	if err != nil {
+		return nil, err
+	}
+	h := &HealthInfo{Ready: d.u8() != 0, Reasons: d.strs()}
+	return h, finish(d)
+}
+
+// ClientMetrics are the per-peer instruments a coordinator exports on
+// /metrics for every shard node it talks to.
+type ClientMetrics struct {
+	requests map[Kind]*metrics.Counter
+	errors   map[Kind]*metrics.Counter
+	latency  *metrics.Histogram
+	inflight *metrics.Gauge
+}
+
+// rpcLatencyBounds bracket LAN round-trips: 100µs to 2.5s.
+var rpcLatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// NewClientMetrics registers the per-peer RPC series (request and
+// error counters per method, one latency histogram, one in-flight
+// gauge) labeled with the peer address, and returns the bundle to
+// attach via Client.SetMetrics.
+func NewClientMetrics(reg *metrics.Registry, peer string) *ClientMetrics {
+	m := &ClientMetrics{
+		requests: make(map[Kind]*metrics.Counter, len(kindNames)),
+		errors:   make(map[Kind]*metrics.Counter, len(kindNames)),
+		latency: reg.Histogram("ra_rpc_client_latency_seconds",
+			"RPC round-trip latency to this peer.", rpcLatencyBounds, "peer", peer),
+		inflight: reg.Gauge("ra_rpc_client_in_flight",
+			"RPCs currently outstanding to this peer.", "peer", peer),
+	}
+	for kind, name := range kindNames {
+		m.requests[kind] = reg.Counter("ra_rpc_client_requests_total",
+			"RPCs issued to this peer by method.", "peer", peer, "method", name)
+		m.errors[kind] = reg.Counter("ra_rpc_client_errors_total",
+			"Failed RPCs to this peer by method.", "peer", peer, "method", name)
+	}
+	return m
+}

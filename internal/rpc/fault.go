@@ -1,0 +1,89 @@
+package rpc
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultMode selects a FaultListener's behavior.
+type FaultMode int32
+
+const (
+	// FaultNone passes connections through untouched.
+	FaultNone FaultMode = iota
+	// FaultDrop accepts and immediately closes every connection, the
+	// shape of a crashed or restarting node (clients see connection
+	// reset / EOF at handshake).
+	FaultDrop
+	// FaultHang accepts connections and never answers them, the shape
+	// of a wedged node (clients see their deadline expire).
+	FaultHang
+)
+
+// FaultListener wraps a net.Listener with switchable failure
+// injection, the chaos seam cluster tests use to exercise the
+// coordinator's retry-once-then-503 path without real process death.
+type FaultListener struct {
+	inner net.Listener
+	mode  atomic.Int32
+
+	mu   sync.Mutex
+	held []net.Conn
+}
+
+// NewFaultListener wraps l; the initial mode is FaultNone.
+func NewFaultListener(l net.Listener) *FaultListener {
+	return &FaultListener{inner: l}
+}
+
+// SetMode switches the failure mode for subsequently accepted
+// connections. Leaving FaultHang releases (closes) the held ones.
+func (f *FaultListener) SetMode(m FaultMode) {
+	f.mode.Store(int32(m))
+	if m != FaultHang {
+		f.mu.Lock()
+		held := f.held
+		f.held = nil
+		f.mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}
+}
+
+// Accept implements net.Listener, applying the current fault mode.
+func (f *FaultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := f.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		switch FaultMode(f.mode.Load()) {
+		case FaultDrop:
+			c.Close()
+		case FaultHang:
+			f.mu.Lock()
+			f.held = append(f.held, c)
+			f.mu.Unlock()
+		default:
+			return c, nil
+		}
+	}
+}
+
+// Close closes the wrapped listener and any held connections.
+func (f *FaultListener) Close() error {
+	err := f.inner.Close()
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	for _, c := range held {
+		c.Close()
+	}
+	return err
+}
+
+// Addr implements net.Listener.
+func (f *FaultListener) Addr() net.Addr { return f.inner.Addr() }

@@ -1,0 +1,140 @@
+package rpc
+
+import (
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/order"
+)
+
+// Spec is the wire form of a distributed ranked-access request: the
+// textual spec the coordinator planned plus the partitioning it fixed
+// (total shard count, partition variable) and the shard indices the
+// receiving node must build and own. Probes repeat the full Spec so
+// every call is stateless — a node that evicted (or never saw) the
+// build reconstructs it from the message alone instead of failing on
+// a dangling token.
+type Spec struct {
+	// Query, Order, SumBy, FDs mirror engine.Spec.
+	Query string
+	Order string
+	SumBy []string
+	FDs   []string
+	// P is the cluster-wide shard count.
+	P int
+	// ShardVar names the partition variable (always explicit on the
+	// wire; the coordinator resolves defaulting before fan-out so all
+	// nodes agree).
+	ShardVar string
+	// Owned lists the shard indices in [0, P) this node builds.
+	Owned []int
+}
+
+func (s *Spec) encode(e *enc) {
+	e.str(s.Query)
+	e.str(s.Order)
+	e.strs(s.SumBy)
+	e.strs(s.FDs)
+	e.u32(uint32(s.P))
+	e.str(s.ShardVar)
+	e.ints(s.Owned)
+}
+
+func decodeSpec(d *dec) Spec {
+	return Spec{
+		Query:    d.str(),
+		Order:    d.str(),
+		SumBy:    d.strs(),
+		FDs:      d.strs(),
+		P:        int(d.u32()),
+		ShardVar: d.str(),
+		Owned:    d.ints(),
+	}
+}
+
+// Key returns a canonical identity string for the spec, used by nodes
+// to cache builds across stateless probes.
+func (s *Spec) Key() string {
+	var e enc
+	s.encode(&e)
+	return string(e.b)
+}
+
+// PrepareInfo is a node's answer to Prepare: the identity of the data
+// the build reflects plus everything the coordinator needs to merge
+// this node's shards into the global order.
+type PrepareInfo struct {
+	// Version is the node's instance version the build reflects;
+	// subsequent probes echo it and get ErrStaleVersion if the node
+	// moved on.
+	Version uint64
+	// Mode is the structure mode every owned shard was built in
+	// (engine.Mode's string form); the coordinator requires unanimity
+	// across nodes.
+	Mode string
+	// Completed is the realized total lex order of layered builds
+	// (empty for SUM and materialized-SUM), encoded as (var, dir)
+	// pairs. All shards of all nodes must realize the same order.
+	Completed []order.LexEntry
+	// Totals are the per-shard answer counts, aligned with the
+	// request's Owned slice.
+	Totals []int64
+}
+
+func (p *PrepareInfo) encode(e *enc) {
+	e.u64(p.Version)
+	e.str(p.Mode)
+	e.u32(uint32(len(p.Completed)))
+	for _, le := range p.Completed {
+		e.i64(int64(le.Var))
+		e.u8(uint8(le.Dir))
+	}
+	e.i64s(p.Totals)
+}
+
+func decodePrepareInfo(d *dec) *PrepareInfo {
+	p := &PrepareInfo{Version: d.u64(), Mode: d.str()}
+	n := d.count(9)
+	for i := 0; i < n && !d.bad; i++ {
+		v := d.i64()
+		dir := d.u8()
+		p.Completed = append(p.Completed, order.LexEntry{Var: cq.VarID(v), Dir: order.Direction(dir)})
+	}
+	p.Totals = d.i64s()
+	return p
+}
+
+// CountSpec asks a node to count its owned shards' answers for a
+// query under the given partitioning (no order needed — counting is
+// order-free).
+type CountSpec struct {
+	Query    string
+	P        int
+	ShardVar string
+	Owned    []int
+}
+
+func (c *CountSpec) encode(e *enc) {
+	e.str(c.Query)
+	e.u32(uint32(c.P))
+	e.str(c.ShardVar)
+	e.ints(c.Owned)
+}
+
+func decodeCountSpec(d *dec) CountSpec {
+	return CountSpec{Query: d.str(), P: int(d.u32()), ShardVar: d.str(), Owned: d.ints()}
+}
+
+// PeerStats is a node's Stats answer.
+type PeerStats struct {
+	// Version is the node's current instance version.
+	Version uint64
+	// Tuples is the node's instance size.
+	Tuples int64
+	// Builds is the number of owned-shard builds the node is caching.
+	Builds int64
+}
+
+// HealthInfo is a node's Health answer.
+type HealthInfo struct {
+	Ready   bool
+	Reasons []string
+}

@@ -1,0 +1,472 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"hash/crc32"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/metrics"
+	"rankedaccess/internal/order"
+)
+
+// fakeBackend is a deterministic Backend for protocol tests: shard s
+// holds answers [s*100, s*100+total) as single-column tuples.
+type fakeBackend struct {
+	total    int64
+	failWith error         // when set, every data call returns it
+	block    chan struct{} // when set, data calls block until closed
+}
+
+func (f *fakeBackend) wait(ctx context.Context) error {
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return f.failWith
+}
+
+func (f *fakeBackend) Prepare(ctx context.Context, spec Spec) (*PrepareInfo, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	info := &PrepareInfo{
+		Version:   7,
+		Mode:      "layered-lex",
+		Completed: []order.LexEntry{{Var: 0, Dir: order.Asc}, {Var: 1, Dir: order.Desc}},
+		Totals:    make([]int64, len(spec.Owned)),
+	}
+	for i := range spec.Owned {
+		info.Totals[i] = f.total
+	}
+	return info, nil
+}
+
+func (f *fakeBackend) Count(ctx context.Context, spec CountSpec) (int64, error) {
+	if err := f.wait(ctx); err != nil {
+		return 0, err
+	}
+	return f.total * int64(len(spec.Owned)), nil
+}
+
+func (f *fakeBackend) Rank(ctx context.Context, spec Spec, version uint64, a order.Answer) ([]int64, bool, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, false, err
+	}
+	if version != 7 {
+		return nil, false, ErrStaleVersion
+	}
+	ranks := make([]int64, len(spec.Owned))
+	for i := range ranks {
+		ranks[i] = a[0] % f.total
+	}
+	return ranks, a[0]%2 == 0, nil
+}
+
+func (f *fakeBackend) Access(ctx context.Context, spec Spec, version uint64, shard int, k int64) (order.Answer, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	if k < 0 || k >= f.total {
+		return nil, access.ErrOutOfBound
+	}
+	return order.Answer{int64(shard)*100 + k, -k}, nil
+}
+
+func (f *fakeBackend) Range(ctx context.Context, spec Spec, version uint64, shard int, k0, k1 int64) ([]order.Answer, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	if k0 < 0 || k1 < k0 || k1 > f.total {
+		return nil, access.ErrOutOfBound
+	}
+	out := make([]order.Answer, 0, k1-k0)
+	for k := k0; k < k1; k++ {
+		out = append(out, order.Answer{int64(shard)*100 + k, -k})
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) Stats(ctx context.Context) (*PeerStats, error) {
+	return &PeerStats{Version: 7, Tuples: 1234, Builds: 3}, nil
+}
+
+func (f *fakeBackend) Health(ctx context.Context) (*HealthInfo, error) {
+	return &HealthInfo{Ready: true, Reasons: []string{"warming"}}, nil
+}
+
+// startServer serves the backend on a loopback listener, optionally
+// wrapped, and tears everything down with the test.
+func startServer(t *testing.T, b Backend, wrap func(net.Listener) net.Listener) (*Server, net.Listener) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrap != nil {
+		lis = wrap(lis)
+	}
+	srv := NewServer(b)
+	go func() { _ = srv.Serve(lis) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, lis
+}
+
+func testSpec() Spec {
+	return Spec{
+		Query:    "Q(x, y) :- R(x, y)",
+		Order:    "x, y desc",
+		P:        4,
+		ShardVar: "x",
+		Owned:    []int{1, 3},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := &fakeBackend{total: 10}
+	_, lis := startServer(t, b, nil)
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	info, err := c.Prepare(ctx, testSpec())
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if info.Version != 7 || info.Mode != "layered-lex" || len(info.Totals) != 2 || info.Totals[0] != 10 {
+		t.Fatalf("Prepare info = %+v", info)
+	}
+	if len(info.Completed) != 2 || info.Completed[1] != (order.LexEntry{Var: 1, Dir: order.Desc}) {
+		t.Fatalf("Completed = %v", info.Completed)
+	}
+
+	n, err := c.Count(ctx, CountSpec{Query: "Q(x) :- R(x)", P: 4, ShardVar: "x", Owned: []int{0, 2}})
+	if err != nil || n != 20 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+
+	ranks, exact, err := c.Rank(ctx, testSpec(), 7, order.Answer{6, 0})
+	if err != nil || !exact || len(ranks) != 2 || ranks[0] != 6 {
+		t.Fatalf("Rank = %v, %v, %v", ranks, exact, err)
+	}
+
+	a, err := c.Access(ctx, testSpec(), 7, 3, 4)
+	if err != nil || a[0] != 304 || a[1] != -4 {
+		t.Fatalf("Access = %v, %v", a, err)
+	}
+
+	rows, err := c.Range(ctx, testSpec(), 7, 1, 2, 5)
+	if err != nil || len(rows) != 3 || rows[0][0] != 102 || rows[2][1] != -4 {
+		t.Fatalf("Range = %v, %v", rows, err)
+	}
+
+	st, err := c.StatsCall(ctx)
+	if err != nil || st.Tuples != 1234 || st.Builds != 3 {
+		t.Fatalf("Stats = %+v, %v", st, err)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil || !h.Ready || len(h.Reasons) != 1 || h.Reasons[0] != "warming" {
+		t.Fatalf("Health = %+v, %v", h, err)
+	}
+}
+
+// TestSentinelStatuses pins that app-level errors cross the wire as the
+// EXACT engine sentinels — that equivalence is what makes distributed
+// error responses byte-identical to single-node ones.
+func TestSentinelStatuses(t *testing.T) {
+	b := &fakeBackend{total: 10}
+	_, lis := startServer(t, b, nil)
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	if _, err := c.Access(ctx, testSpec(), 7, 1, 99); !errors.Is(err, access.ErrOutOfBound) {
+		t.Fatalf("out-of-range Access = %v, want ErrOutOfBound", err)
+	}
+	if _, _, err := c.Rank(ctx, testSpec(), 8, order.Answer{0, 0}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale Rank = %v, want ErrStaleVersion", err)
+	}
+
+	b.failWith = access.ErrNotAnAnswer
+	if _, _, err := c.Rank(ctx, testSpec(), 7, order.Answer{0, 0}); !errors.Is(err, access.ErrNotAnAnswer) {
+		t.Fatalf("Rank = %v, want ErrNotAnAnswer", err)
+	}
+
+	b.failWith = &BadRequestError{Msg: "no such variable"}
+	var bre *BadRequestError
+	if _, err := c.Prepare(ctx, testSpec()); !errors.As(err, &bre) || bre.Msg != "no such variable" {
+		t.Fatalf("Prepare = %v, want BadRequestError", err)
+	}
+
+	b.failWith = errors.New("disk exploded")
+	var re *RemoteError
+	if _, err := c.Prepare(ctx, testSpec()); !errors.As(err, &re) {
+		t.Fatalf("Prepare = %v, want RemoteError", err)
+	}
+	// App-status errors must NOT be retried: two Prepare calls so far
+	// with failWith set => exactly that many reached the backend.
+	if got := c.Stats().Calls[KindPrepare]; got != 2 {
+		t.Fatalf("Prepare client calls = %d, want 2 (no transport retries)", got)
+	}
+}
+
+// TestPoolReuse pins that sequential calls share one connection.
+func TestPoolReuse(t *testing.T) {
+	var accepts atomic.Int64
+	b := &fakeBackend{total: 10}
+	_, lis := startServer(t, b, func(l net.Listener) net.Listener {
+		return &countingListener{Listener: l, n: &accepts}
+	})
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Health(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := accepts.Load(); n != 1 {
+		t.Fatalf("5 sequential calls used %d connections, want 1", n)
+	}
+}
+
+type countingListener struct {
+	net.Listener
+	n *atomic.Int64
+}
+
+func (c *countingListener) Accept() (net.Conn, error) {
+	conn, err := c.Listener.Accept()
+	if err == nil {
+		c.n.Add(1)
+	}
+	return conn, err
+}
+
+// killFirstListener closes its first accepted connection immediately,
+// simulating a peer that dies mid-handshake exactly once.
+type killFirstListener struct {
+	net.Listener
+	killed atomic.Bool
+}
+
+func (k *killFirstListener) Accept() (net.Conn, error) {
+	conn, err := k.Listener.Accept()
+	if err == nil && k.killed.CompareAndSwap(false, true) {
+		conn.Close()
+		return k.Listener.Accept()
+	}
+	return conn, err
+}
+
+// TestRetryOnce pins the transport-retry contract: one transparent
+// retry on a fresh connection, so a single connection-level failure
+// never surfaces.
+func TestRetryOnce(t *testing.T) {
+	b := &fakeBackend{total: 10}
+	_, lis := startServer(t, b, func(l net.Listener) net.Listener {
+		return &killFirstListener{Listener: l}
+	})
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("call across one dead connection = %v, want transparent retry", err)
+	}
+}
+
+// TestFaultModes drives the fault-injection seam end to end: a dropping
+// listener yields ErrUnavailable after the retry, a hanging listener
+// yields a deadline error, and clearing the fault restores service.
+func TestFaultModes(t *testing.T) {
+	b := &fakeBackend{total: 10}
+	var fl *FaultListener
+	_, lis := startServer(t, b, func(l net.Listener) net.Listener {
+		fl = NewFaultListener(l)
+		return fl
+	})
+	c := NewClient(lis.Addr().String(), Options{DialTimeout: 200 * time.Millisecond, CallTimeout: 500 * time.Millisecond})
+	defer c.Close()
+
+	fl.SetMode(FaultDrop)
+	if _, err := c.Health(context.Background()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Health through dropping listener = %v, want ErrUnavailable", err)
+	}
+
+	fl.SetMode(FaultHang)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	err := func() error { _, err := c.Health(ctx); return err }()
+	cancel()
+	if err == nil {
+		t.Fatal("Health through hanging listener succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Health through hanging listener = %v", err)
+	}
+
+	fl.SetMode(FaultNone)
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after clearing fault = %v", err)
+	}
+}
+
+// TestDeadlinePropagation pins that a caller deadline bounds the call
+// even when the backend never answers.
+func TestDeadlinePropagation(t *testing.T) {
+	b := &fakeBackend{total: 10, block: make(chan struct{})}
+	defer close(b.block)
+	_, lis := startServer(t, b, nil)
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Prepare(ctx, testSpec())
+	if err == nil {
+		t.Fatal("Prepare with blocked backend succeeded")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Prepare took %v despite a 250ms deadline", d)
+	}
+}
+
+// TestCorruptFrame pins CRC verification: flipping one payload bit is
+// detected, never decoded.
+func TestCorruptFrame(t *testing.T) {
+	srvConn, cliConn := net.Pipe()
+	defer srvConn.Close()
+	defer cliConn.Close()
+
+	go func() {
+		e := &enc{}
+		e.str("hello")
+		var buf []byte
+		buf = append(buf, e.b...)
+		_ = writeFrameCorrupted(srvConn, buf)
+	}()
+	_, err := readFrame(cliConn)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupt frame read = %v, want ErrBadFrame", err)
+	}
+}
+
+// writeFrameCorrupted writes a well-formed frame, then flips one bit of
+// the payload so the CRC no longer matches.
+func writeFrameCorrupted(w net.Conn, payload []byte) error {
+	e := &enc{}
+	e.u32(uint32(len(payload)))
+	e.u32(crc32.Checksum(payload, castagnoli))
+	flipped := append([]byte(nil), payload...)
+	flipped[0] ^= 0x01
+	e.b = append(e.b, flipped...)
+	_, err := w.Write(e.b)
+	return err
+}
+
+// TestHostileLengths pins the decoder against absurd length prefixes: a
+// claimed billion-element slice in a tiny payload must fail cleanly,
+// not allocate.
+func TestHostileLengths(t *testing.T) {
+	e := &enc{}
+	e.u32(1 << 30) // a billion strings, in an 8-byte payload
+	e.u32(0)
+	d := &dec{b: e.b}
+	_ = d.strs()
+	if !d.bad {
+		t.Fatal("decoder accepted a hostile length prefix")
+	}
+
+	e2 := &enc{}
+	e2.u32(1 << 30)
+	d2 := &dec{b: e2.b}
+	_ = d2.i64s()
+	if !d2.bad {
+		t.Fatal("decoder accepted a hostile i64 count")
+	}
+}
+
+// TestClientMetrics pins the per-peer series names on a live registry.
+func TestClientMetrics(t *testing.T) {
+	b := &fakeBackend{total: 10}
+	_, lis := startServer(t, b, nil)
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.SetMetrics(NewClientMetrics(reg, "peer-a"))
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	want := map[string]bool{
+		"ra_rpc_client_requests_total":  false,
+		"ra_rpc_client_errors_total":    false,
+		"ra_rpc_client_latency_seconds": false,
+		"ra_rpc_client_in_flight":       false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("metric %s not registered (have %v)", n, names)
+		}
+	}
+}
+
+// TestServerInstrument pins the server-side series.
+func TestServerInstrument(t *testing.T) {
+	b := &fakeBackend{total: 10}
+	srv, lis := startServer(t, b, nil)
+	reg := metrics.NewRegistry()
+	srv.Instrument(reg)
+	c := NewClient(lis.Addr().String(), Options{})
+	defer c.Close()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range reg.Names() {
+		if n == "ra_rpc_server_requests_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ra_rpc_server_requests_total not registered")
+	}
+}
+
+// TestVersionMismatchHandshake pins that a peer speaking a different
+// protocol version is refused at connect, not mid-call.
+func TestVersionMismatchHandshake(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// A "future" server: right magic, wrong version.
+		bad := append([]byte{}, magic[:]...)
+		bad = append(bad, 0xFF, 0xFF, 0, 0)
+		_, _ = conn.Write(bad)
+	}()
+	c := NewClient(lis.Addr().String(), Options{CallTimeout: time.Second})
+	defer c.Close()
+	if _, err := c.Health(context.Background()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Health against wrong-version peer = %v, want ErrUnavailable", err)
+	}
+}

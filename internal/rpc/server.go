@@ -1,0 +1,324 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/metrics"
+	"rankedaccess/internal/order"
+)
+
+// Backend is what a shard node implements to answer the typed calls
+// (see internal/cluster.Node). Every method may be called from many
+// connections concurrently.
+type Backend interface {
+	Prepare(ctx context.Context, spec Spec) (*PrepareInfo, error)
+	Count(ctx context.Context, spec CountSpec) (int64, error)
+	Rank(ctx context.Context, spec Spec, version uint64, a order.Answer) (ranks []int64, exact bool, err error)
+	Access(ctx context.Context, spec Spec, version uint64, shard int, k int64) (order.Answer, error)
+	Range(ctx context.Context, spec Spec, version uint64, shard int, k0, k1 int64) ([]order.Answer, error)
+	Stats(ctx context.Context) (*PeerStats, error)
+	Health(ctx context.Context) (*HealthInfo, error)
+}
+
+// serverIdleTimeout reaps connections with no request for this long,
+// so half-dead peers cannot pin goroutines forever.
+const serverIdleTimeout = 5 * time.Minute
+
+// handshakeTimeout bounds the connect preamble in both directions.
+const handshakeTimeout = 10 * time.Second
+
+// Server accepts framed-protocol connections and dispatches their
+// requests to a Backend, one request at a time per connection.
+type Server struct {
+	b Backend
+
+	mu     sync.Mutex
+	lis    []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	im       sync.Mutex
+	requests map[Kind]*metrics.Counter
+	inflight *metrics.Gauge
+}
+
+// NewServer returns a server dispatching to b.
+func NewServer(b Backend) *Server {
+	return &Server{b: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Instrument registers the server-side RPC series (requests served by
+// method, in-flight gauge) on reg; call before Serve.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	s.im.Lock()
+	defer s.im.Unlock()
+	s.requests = make(map[Kind]*metrics.Counter, len(kindNames))
+	for kind, name := range kindNames {
+		s.requests[kind] = reg.Counter("ra_rpc_server_requests_total",
+			"RPC requests served by method.", "method", name)
+	}
+	s.inflight = reg.Gauge("ra_rpc_server_in_flight", "RPC requests currently executing.")
+}
+
+// Serve accepts connections on l until Close (which returns nil) or an
+// accept error.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("rpc: server closed")
+	}
+	s.lis = append(s.lis, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listeners, closes every live connection, and waits
+// for their handlers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range lis {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := readHandshake(conn); err != nil {
+		return
+	}
+	if err := writeHandshake(conn); err != nil {
+		return
+	}
+	for {
+		conn.SetDeadline(time.Now().Add(serverIdleTimeout))
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		d := &dec{b: req}
+		reqID := d.u64()
+		kind := Kind(d.u8())
+		deadlineMillis := d.u32()
+		if d.bad {
+			return
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if deadlineMillis > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMillis)*time.Millisecond)
+		}
+		resp := s.dispatch(ctx, kind, d, reqID)
+		cancel()
+		conn.SetDeadline(time.Now().Add(serverIdleTimeout))
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes the body for the kind, runs the backend call, and
+// encodes the response payload (id, kind, status, body).
+func (s *Server) dispatch(ctx context.Context, kind Kind, d *dec, reqID uint64) []byte {
+	s.im.Lock()
+	ctr, gauge := s.requests[kind], s.inflight
+	s.im.Unlock()
+	if ctr != nil {
+		ctr.Inc()
+	}
+	if gauge != nil {
+		gauge.Inc()
+		defer gauge.Dec()
+	}
+
+	e := &enc{b: make([]byte, 0, 256)}
+	e.u64(reqID)
+	e.u8(uint8(kind))
+	body, err := s.run(ctx, kind, d)
+	if err != nil {
+		e.u8(statusFor(err))
+		e.str(err.Error())
+		return e.b
+	}
+	e.u8(statusOK)
+	e.b = append(e.b, body...)
+	return e.b
+}
+
+// run executes one decoded call and returns the encoded OK body.
+func (s *Server) run(ctx context.Context, kind Kind, d *dec) ([]byte, error) {
+	e := &enc{}
+	switch kind {
+	case KindPrepare:
+		spec := decodeSpec(d)
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		info, err := s.b.Prepare(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		info.encode(e)
+	case KindCount:
+		spec := decodeCountSpec(d)
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		n, err := s.b.Count(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		e.i64(n)
+	case KindRank:
+		spec := decodeSpec(d)
+		version := d.u64()
+		a := d.answer()
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		ranks, exact, err := s.b.Rank(ctx, spec, version, a)
+		if err != nil {
+			return nil, err
+		}
+		e.i64s(ranks)
+		if exact {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case KindAccess:
+		spec := decodeSpec(d)
+		version := d.u64()
+		shard := int(d.u32())
+		k := d.i64()
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		a, err := s.b.Access(ctx, spec, version, shard, k)
+		if err != nil {
+			return nil, err
+		}
+		e.answer(a)
+	case KindRange:
+		spec := decodeSpec(d)
+		version := d.u64()
+		shard := int(d.u32())
+		k0, k1 := d.i64(), d.i64()
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		rows, err := s.b.Range(ctx, spec, version, shard, k0, k1)
+		if err != nil {
+			return nil, err
+		}
+		width := 0
+		if len(rows) > 0 {
+			width = len(rows[0])
+		}
+		e.u32(uint32(width))
+		e.u32(uint32(len(rows)))
+		for _, row := range rows {
+			for _, v := range row {
+				e.i64(int64(v))
+			}
+		}
+	case KindStats:
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		st, err := s.b.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		e.u64(st.Version)
+		e.i64(st.Tuples)
+		e.i64(st.Builds)
+	case KindHealth:
+		if err := d.err(); err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		h, err := s.b.Health(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if h.Ready {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.strs(h.Reasons)
+	default:
+		return nil, &BadRequestError{Msg: fmt.Sprintf("rpc: unknown call kind %d", kind)}
+	}
+	return e.b, nil
+}
+
+// statusFor maps a backend error to its wire status; well-known
+// sentinels get dedicated statuses so they decode back exactly.
+func statusFor(err error) uint8 {
+	var bad *BadRequestError
+	switch {
+	case errors.Is(err, access.ErrOutOfBound):
+		return statusOutOfBound
+	case errors.Is(err, access.ErrNotAnAnswer):
+		return statusNotAnAnswer
+	case errors.Is(err, ErrStaleVersion):
+		return statusStale
+	case errors.As(err, &bad):
+		return statusBadRequest
+	default:
+		return statusInternal
+	}
+}

@@ -1,0 +1,370 @@
+// Package rpc is the cluster's wire protocol: a stdlib-only framed
+// binary protocol over TCP carrying the typed calls a coordinator
+// issues against shard nodes (Prepare/Count/Rank/Access/Range/Stats/
+// Health — see Client and Backend).
+//
+// Connection layout. A connection opens with an 8-byte handshake in
+// each direction (magic, protocol version); every subsequent exchange
+// is one request frame followed by one response frame. A frame is
+//
+//	uint32 length | uint32 crc32c(payload) | payload
+//
+// little-endian, with the CRC (Castagnoli) covering the payload only.
+// A request payload is
+//
+//	uint64 reqID | uint8 kind | uint32 deadlineMillis | body
+//
+// and a response payload echoes the request id and kind followed by a
+// status byte and the body (an error message for non-OK statuses). The
+// deadline is relative (milliseconds left until the caller gives up),
+// so no clock synchronization between peers is assumed; 0 means no
+// deadline. Connections carry one request at a time — pipelining would
+// complicate failure attribution for no win at the coordinator's
+// concurrency (it opens more connections instead, see Client's pool).
+//
+// Versioning. ProtoVersion is bumped on any incompatible change to the
+// framing or message bodies; a server refuses a handshake carrying a
+// different version, so mixed-version clusters fail fast at connect
+// time rather than corrupting probes mid-stream. See CONTRIBUTING.md
+// for the bump policy (it mirrors the snapshot/WAL format rules).
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"rankedaccess/internal/order"
+	"rankedaccess/internal/values"
+)
+
+// ProtoVersion is the wire-protocol version exchanged in the
+// handshake. Bump it on ANY incompatible framing or message change.
+const ProtoVersion = 1
+
+// magic opens every handshake; "RARC" = RankedAccess RPC.
+var magic = [4]byte{'R', 'A', 'R', 'C'}
+
+// maxFrame bounds a frame payload; anything larger is a protocol
+// error (it would let one bad peer make us allocate without bound).
+const maxFrame = 64 << 20
+
+// castagnoli is the CRC-32C table shared by all frame writers/readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Kind identifies a typed call.
+type Kind uint8
+
+const (
+	// KindPrepare builds (or reuses) the owned per-shard structures
+	// for a spec and returns their totals and realized order.
+	KindPrepare Kind = 1
+	// KindCount counts the owned shards' answers for a query.
+	KindCount Kind = 2
+	// KindRank prices an answer on every owned shard (answers
+	// strictly below it, the paper's Rank query).
+	KindRank Kind = 3
+	// KindAccess returns one shard's k-th local answer.
+	KindAccess Kind = 4
+	// KindRange returns one shard's local answers k0 ≤ k < k1.
+	KindRange Kind = 5
+	// KindStats returns node-level counters.
+	KindStats Kind = 6
+	// KindHealth reports node readiness (the prober's call).
+	KindHealth Kind = 7
+)
+
+// kindNames maps kinds to the method label used in metrics.
+var kindNames = map[Kind]string{
+	KindPrepare: "prepare",
+	KindCount:   "count",
+	KindRank:    "rank",
+	KindAccess:  "access",
+	KindRange:   "range",
+	KindStats:   "stats",
+	KindHealth:  "health",
+}
+
+// KindName returns the metrics label of a kind ("?" when unknown).
+func KindName(k Kind) string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return "?"
+}
+
+// Response status bytes. Statuses carrying a well-known engine
+// sentinel decode back to that exact sentinel on the client, so the
+// coordinator's error handling (and its HTTP error bodies) match the
+// single-node path byte for byte.
+const (
+	statusOK          = 0
+	statusOutOfBound  = 1 // access.ErrOutOfBound
+	statusNotAnAnswer = 2 // access.ErrNotAnAnswer
+	statusBadRequest  = 3 // request-level failure, message attached
+	statusInternal    = 4 // node-side failure, message attached
+	statusStale       = 5 // ErrStaleVersion
+)
+
+// ErrUnavailable reports that a peer could not be reached (dial,
+// write, or read failed) even after the client's single retry. The
+// serving layer maps it to 503 + Retry-After.
+var ErrUnavailable = errors.New("rpc: peer unavailable")
+
+// ErrStaleVersion reports that the shard node's instance changed
+// between Prepare and a probe, so the coordinator's cached totals no
+// longer describe the node's data. Re-registering the query recovers.
+var ErrStaleVersion = errors.New("rpc: shard node instance version changed since prepare; re-register the query")
+
+// ErrBadFrame reports a framing-level protocol violation (bad magic,
+// version mismatch, CRC failure, oversized frame). The connection
+// carrying it is poisoned and must be closed.
+var ErrBadFrame = errors.New("rpc: protocol error")
+
+// BadRequestError is a request-level failure a node reports back to
+// the coordinator (malformed spec, unknown shard index, FD specs).
+type BadRequestError struct{ Msg string }
+
+func (e *BadRequestError) Error() string { return e.Msg }
+
+// RemoteError wraps a node-side internal failure: the call reached
+// the node and failed there, so retrying another connection is
+// pointless.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// writeHandshake sends the 8-byte magic+version preamble.
+func writeHandshake(w io.Writer) error {
+	var b [8]byte
+	copy(b[:4], magic[:])
+	binary.LittleEndian.PutUint16(b[4:6], ProtoVersion)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readHandshake consumes and validates the peer's preamble.
+func readHandshake(r io.Reader) error {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	if [4]byte(b[:4]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrBadFrame, b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != ProtoVersion {
+		return fmt.Errorf("%w: protocol version %d, want %d", ErrBadFrame, v, ProtoVersion)
+	}
+	return nil
+}
+
+// writeFrame writes one length+CRC framed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrBadFrame, len(payload), maxFrame)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, verifying length bound and CRC.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrBadFrame, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, fmt.Errorf("%w: payload CRC %08x, want %08x", ErrBadFrame, got, want)
+	}
+	return payload, nil
+}
+
+// enc builds a little-endian message body.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) strs(ss []string) {
+	e.u32(uint32(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (e *enc) ints(vs []int) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i64(int64(v))
+	}
+}
+
+func (e *enc) i64s(vs []int64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i64(v)
+	}
+}
+
+func (e *enc) answer(a order.Answer) {
+	e.u32(uint32(len(a)))
+	for _, v := range a {
+		e.i64(int64(v))
+	}
+}
+
+// dec consumes a little-endian message body with sticky error state:
+// any out-of-bounds or over-limit read marks the decoder bad and every
+// subsequent read returns zero values, so codecs can decode straight
+// through and check err() once.
+type dec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *dec) fail() { d.bad = true }
+
+func (d *dec) err() error {
+	if d.bad {
+		return fmt.Errorf("%w: truncated or malformed message", ErrBadFrame)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func (d *dec) u8() uint8 {
+	if d.bad || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.bad || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.bad || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+// count reads a length prefix for elements of at least elemSize bytes,
+// bounding it by the remaining payload so hostile lengths cannot force
+// huge allocations.
+func (d *dec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.bad {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(d.b)-d.off {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string {
+	n := d.count(1)
+	if d.bad {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) strs() []string {
+	n := d.count(4)
+	if d.bad || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *dec) ints() []int {
+	n := d.count(8)
+	if d.bad || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v := d.i64()
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			d.fail()
+			return nil
+		}
+		out[i] = int(v)
+	}
+	return out
+}
+
+func (d *dec) i64s() []int64 {
+	n := d.count(8)
+	if d.bad || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out
+}
+
+func (d *dec) answer() order.Answer {
+	n := d.count(8)
+	if d.bad || n == 0 {
+		return nil
+	}
+	out := make(order.Answer, n)
+	for i := range out {
+		out[i] = values.Value(d.i64())
+	}
+	return out
+}

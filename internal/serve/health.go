@@ -50,6 +50,9 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			reasons = append(reasons, fmt.Sprintf("snapshot dir not writable: %v", err))
 		}
 	}
+	if s.cfg.ReadyCheck != nil {
+		reasons = append(reasons, s.cfg.ReadyCheck()...)
+	}
 	if len(reasons) > 0 {
 		setRetryAfter(w, time.Second)
 		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Ready: false, Reasons: reasons})

@@ -251,6 +251,9 @@ func newServerMetrics(s *server) *serverMetrics {
 		func() float64 { return float64(m.deprecatedTotal.Load()) })
 	m.logsSampledOut = reg.Counter("ra_http_request_logs_sampled_out_total",
 		"request-log records dropped by under-load sampling")
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(reg)
+	}
 	return m
 }
 

@@ -75,6 +75,8 @@ import (
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/admission"
 	"rankedaccess/internal/engine"
+	"rankedaccess/internal/metrics"
+	"rankedaccess/internal/rpc"
 	"rankedaccess/internal/values"
 )
 
@@ -171,6 +173,18 @@ type Config struct {
 	// ra_http_request_logs_sampled_out_total). 0 means 500; negative
 	// disables sampling.
 	LogMaxPerSec int
+
+	// ReadyCheck, when non-nil, contributes extra readiness reasons to
+	// /readyz (each returned string flips readiness false). The
+	// coordinator role wires its cluster health here, so an unreachable
+	// shard node routes traffic away.
+	ReadyCheck func() []string
+
+	// ExtraMetrics, when non-nil, is invoked once on the server's
+	// metrics registry at construction, so roles can attach their own
+	// series (per-peer RPC metrics, RPC server counters) to the same
+	// /metrics endpoint.
+	ExtraMetrics func(*metrics.Registry)
 }
 
 // server holds one mounted API's state: the engine, admission
@@ -412,8 +426,11 @@ type accessResponse struct {
 // handle — the core shared by the legacy /access endpoint and
 // /v1/queries/{name}/access. One flat backing array serves the whole
 // batch; per-index failures land in the answer entries without failing
-// the batch.
-func buildAccessResponse(h *engine.Handle, ks []int64) accessResponse {
+// the batch — EXCEPT infrastructure failures (an unreachable or stale
+// shard node), which abort the whole batch: a half-answered batch
+// whose gaps mean "the cluster is down", not "out of range", would
+// read as data.
+func buildAccessResponse(h *engine.Handle, ks []int64) (accessResponse, error) {
 	resp := accessResponse{
 		Total:     h.Total(),
 		Mode:      string(h.Plan.Mode),
@@ -429,13 +446,16 @@ func buildAccessResponse(h *engine.Handle, ks []int64) accessResponse {
 		var err error
 		flat, err = h.AppendTuple(flat, k)
 		if err != nil {
+			if errors.Is(err, rpc.ErrUnavailable) || errors.Is(err, rpc.ErrStaleVersion) {
+				return accessResponse{}, err
+			}
 			resp.Answers[i].Error = publicErr(err)
 			flat = flat[:start]
 			continue
 		}
 		resp.Answers[i].Tuple = flat[start:len(flat):len(flat)]
 	}
-	return resp
+	return resp, nil
 }
 
 func (s *server) handleAccess(w http.ResponseWriter, r *http.Request) {
@@ -448,7 +468,12 @@ func (s *server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	reply(w, buildAccessResponse(h, req.Ks))
+	resp, err := buildAccessResponse(h, req.Ks)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	reply(w, resp)
 }
 
 type rangeRequest struct {
@@ -706,6 +731,13 @@ type errorResponse struct {
 // with a Retry-After, regardless of the status the handler guessed.
 func fail(w http.ResponseWriter, status int, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusServiceUnavailable
+		setRetryAfter(w, time.Second)
+	}
+	// An unreachable shard node already survived the RPC layer's
+	// retry-once; tell the client when to come back instead of letting
+	// it hammer a cluster that is mid-failover.
+	if errors.Is(err, rpc.ErrUnavailable) {
 		status = http.StatusServiceUnavailable
 		setRetryAfter(w, time.Second)
 	}

@@ -52,11 +52,17 @@ import (
 
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/engine"
+	"rankedaccess/internal/rpc"
 	"rankedaccess/internal/values"
 )
 
 // statusFor maps cross-layer sentinel errors to the v1 API's stable
-// status codes; anything unrecognized is a plain bad request.
+// status codes; anything unrecognized is a plain bad request. The
+// distributed sentinels follow the same philosophy: an unreachable
+// shard node is the server's problem (503, with Retry-After set by
+// fail), a shard node whose data moved past the prepared version means
+// the registration is gone (410, like an invalidated cursor), and a
+// write against a coordinator is not the coordinator's to take (403).
 func statusFor(err error) int {
 	var mbe *http.MaxBytesError
 	switch {
@@ -70,6 +76,12 @@ func statusFor(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, engine.ErrCursorInvalidated):
 		return http.StatusGone
+	case errors.Is(err, rpc.ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, rpc.ErrStaleVersion):
+		return http.StatusGone
+	case errors.Is(err, engine.ErrReadOnly):
+		return http.StatusForbidden
 	default:
 		return http.StatusBadRequest
 	}
@@ -226,12 +238,21 @@ func (s *server) handleV1Access(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.coal == nil {
-		reply(w, buildAccessResponse(h, req.Ks))
+		resp, err := buildAccessResponse(h, req.Ks)
+		if err != nil {
+			failErr(w, err)
+			return
+		}
+		reply(w, resp)
 		return
 	}
 	key := coalesceKey("access", pq.ID(), h.Version(), req.Ks...)
 	body, err := s.coal.do(key, func() ([]byte, error) {
-		return encodeJSON(buildAccessResponse(h, req.Ks))
+		resp, err := buildAccessResponse(h, req.Ks)
+		if err != nil {
+			return nil, err
+		}
+		return encodeJSON(resp)
 	})
 	if err != nil {
 		failErr(w, err)

@@ -13,28 +13,43 @@ import (
 // part is one shard's direct-access structure. access may return an
 // answer aliasing the given probe buffer (layered structures) or the
 // part's immutable storage (SUM / materialized); either way the result
-// is valid until the next access with the same buffer.
+// is valid until the next access with the same buffer. The error
+// returns exist for parts served over the network (see NewRemote);
+// in-process parts never fail a rank.
 type part interface {
 	total() int64
-	rank(a order.Answer) (int64, bool)
+	rank(a order.Answer) (int64, bool, error)
 	access(k int64, b *access.LexBuf) (order.Answer, error)
 	newBuf() *access.LexBuf
 }
 
+// chunkedPart marks parts whose per-answer access pays a network round
+// trip: AppendRange prefetches windows of their local answers through
+// fetchRange instead of probing one answer at a time.
+type chunkedPart interface {
+	fetchRange(k0, k1 int64) ([]order.Answer, error)
+}
+
 type lexPart struct{ la *access.Lex }
 
-func (p lexPart) total() int64                      { return p.la.Total() }
-func (p lexPart) rank(a order.Answer) (int64, bool) { return p.la.Rank(a) }
-func (p lexPart) newBuf() *access.LexBuf            { return p.la.NewBuf() }
+func (p lexPart) total() int64           { return p.la.Total() }
+func (p lexPart) newBuf() *access.LexBuf { return p.la.NewBuf() }
+func (p lexPart) rank(a order.Answer) (int64, bool, error) {
+	r, ex := p.la.Rank(a)
+	return r, ex, nil
+}
 func (p lexPart) access(k int64, b *access.LexBuf) (order.Answer, error) {
 	return p.la.AccessInto(b, k)
 }
 
 type sumPart struct{ s *access.Sum }
 
-func (p sumPart) total() int64                      { return p.s.Total() }
-func (p sumPart) rank(a order.Answer) (int64, bool) { return p.s.Rank(a) }
-func (p sumPart) newBuf() *access.LexBuf            { return nil }
+func (p sumPart) total() int64           { return p.s.Total() }
+func (p sumPart) newBuf() *access.LexBuf { return nil }
+func (p sumPart) rank(a order.Answer) (int64, bool, error) {
+	r, ex := p.s.Rank(a)
+	return r, ex, nil
+}
 func (p sumPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
 	return p.s.Access(k)
 }
@@ -44,9 +59,12 @@ type matLexPart struct {
 	l order.Lex
 }
 
-func (p matLexPart) total() int64                      { return p.m.Total() }
-func (p matLexPart) rank(a order.Answer) (int64, bool) { return p.m.RankLex(a, p.l) }
-func (p matLexPart) newBuf() *access.LexBuf            { return nil }
+func (p matLexPart) total() int64           { return p.m.Total() }
+func (p matLexPart) newBuf() *access.LexBuf { return nil }
+func (p matLexPart) rank(a order.Answer) (int64, bool, error) {
+	r, ex := p.m.RankLex(a, p.l)
+	return r, ex, nil
+}
 func (p matLexPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
 	return p.m.Access(k)
 }
@@ -56,9 +74,12 @@ type matSumPart struct {
 	w order.Sum
 }
 
-func (p matSumPart) total() int64                      { return p.m.Total() }
-func (p matSumPart) rank(a order.Answer) (int64, bool) { return p.m.RankSum(a, p.w) }
-func (p matSumPart) newBuf() *access.LexBuf            { return nil }
+func (p matSumPart) total() int64           { return p.m.Total() }
+func (p matSumPart) newBuf() *access.LexBuf { return nil }
+func (p matSumPart) rank(a order.Answer) (int64, bool, error) {
+	r, ex := p.m.RankSum(a, p.w)
+	return r, ex, nil
+}
 func (p matSumPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
 	return p.m.Access(k)
 }
@@ -86,6 +107,11 @@ type Handle struct {
 	total  int64
 	cmp    func(a, b order.Answer) int
 
+	// ranker, when non-nil, prices an answer on every shard in one
+	// call (the network path batches the per-node rank RPCs and runs
+	// nodes in parallel); nil falls back to per-part rank calls.
+	ranker BatchRanker
+
 	probes sync.Pool
 }
 
@@ -97,6 +123,10 @@ type probe struct {
 	ranks []int64
 	cur   []order.Answer
 	idx   []int64
+	// pend/pi buffer prefetched windows of chunked (remote) parts
+	// during AppendRange merges.
+	pend [][]order.Answer
+	pi   []int
 }
 
 func newHandle(q *cq.Query, pt Partitioning, parts []part, cmp func(a, b order.Answer) int) *Handle {
@@ -113,6 +143,8 @@ func newHandle(q *cq.Query, pt Partitioning, parts []part, cmp func(a, b order.A
 			ranks: make([]int64, len(parts)),
 			cur:   make([]order.Answer, len(parts)),
 			idx:   make([]int64, len(parts)),
+			pend:  make([][]order.Answer, len(parts)),
+			pi:    make([]int, len(parts)),
 		}
 		for i, p := range parts {
 			pr.bufs[i] = p.newBuf()
@@ -173,15 +205,30 @@ func (h *Handle) locate(pr *probe, k int64) (order.Answer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard: internal: part %d access(%d): %w", s, m, err)
 		}
-		r := m
-		pr.ranks[s] = m
-		for j := range h.parts {
-			if j == s {
-				continue
+		if h.ranker != nil {
+			// One scatter round: every node prices x on all its shards
+			// in a single RPC, nodes run in parallel.
+			if _, err := h.ranker.RankAll(x, pr.ranks); err != nil {
+				return nil, err
 			}
-			rj, _ := h.parts[j].rank(x)
-			pr.ranks[j] = rj
-			r += rj
+		} else {
+			for j := range h.parts {
+				if j == s {
+					continue
+				}
+				rj, _, err := h.parts[j].rank(x)
+				if err != nil {
+					return nil, err
+				}
+				pr.ranks[j] = rj
+			}
+		}
+		// The owner's rank of its own m-th answer is m by definition;
+		// pinning it also shields the batched path from owner drift.
+		pr.ranks[s] = m
+		var r int64
+		for j := range h.parts {
+			r += pr.ranks[j]
 		}
 		switch {
 		case r == k:
@@ -244,21 +291,41 @@ func (h *Handle) AppendTuple(dst []values.Value, head []cq.VarID, k int64) ([]va
 
 // Rank returns the number of answers strictly preceding the tuple in
 // the global order (the sum of per-shard ranks) and whether the tuple
-// is an answer of some shard.
-func (h *Handle) Rank(a order.Answer) (int64, bool) {
+// is an answer of some shard. The error is always nil for in-process
+// parts; remote parts surface transport failures through it.
+func (h *Handle) Rank(a order.Answer) (int64, bool, error) {
+	if h.ranker != nil {
+		pr := h.getProbe()
+		defer h.putProbe(pr)
+		exact, err := h.ranker.RankAll(a, pr.ranks)
+		if err != nil {
+			return 0, false, err
+		}
+		var k int64
+		for _, r := range pr.ranks {
+			k += r
+		}
+		return k, exact, nil
+	}
 	var k int64
 	exact := false
 	for _, p := range h.parts {
-		r, ex := p.rank(a)
+		r, ex, err := p.rank(a)
+		if err != nil {
+			return 0, false, err
+		}
 		k += r
 		exact = exact || ex
 	}
-	return k, exact
+	return k, exact, nil
 }
 
 // Inverted returns the global index of an answer, or ErrNotAnAnswer.
 func (h *Handle) Inverted(a order.Answer) (int64, error) {
-	k, ok := h.Rank(a)
+	k, ok, err := h.Rank(a)
+	if err != nil {
+		return 0, err
+	}
 	if !ok {
 		return 0, access.ErrNotAnAnswer
 	}
@@ -290,12 +357,10 @@ func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) 
 	}
 	for j := range h.parts {
 		pr.cur[j] = nil
-		if pr.idx[j] < h.totals[j] {
-			x, err := h.parts[j].access(pr.idx[j], pr.bufs[j])
-			if err != nil {
-				return dst, fmt.Errorf("shard: internal: part %d access(%d): %w", j, pr.idx[j], err)
-			}
-			pr.cur[j] = x
+		pr.pend[j] = pr.pend[j][:0]
+		pr.pi[j] = 0
+		if err := h.fillCursor(pr, j, k1-k0); err != nil {
+			return dst, err
 		}
 	}
 	for n := k1 - k0; n > 0; n-- {
@@ -315,14 +380,63 @@ func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) 
 			dst = append(dst, pr.cur[best][v])
 		}
 		pr.idx[best]++
+		pr.pi[best]++
 		pr.cur[best] = nil
-		if pr.idx[best] < h.totals[best] {
-			x, err := h.parts[best].access(pr.idx[best], pr.bufs[best])
-			if err != nil {
-				return dst, fmt.Errorf("shard: internal: part %d access(%d): %w", best, pr.idx[best], err)
-			}
-			pr.cur[best] = x
+		if err := h.fillCursor(pr, best, n-1); err != nil {
+			return dst, err
 		}
 	}
 	return dst, nil
+}
+
+// rangeChunk caps one prefetched window of a chunked (remote) part,
+// matching the engine's cursor batch so an NDJSON stream chunk costs
+// O(P) range RPCs instead of one RPC per emitted row.
+const rangeChunk = 256
+
+// fillCursor makes pr.cur[j] hold part j's next answer (nil when the
+// part is exhausted). Chunked parts are served from a prefetched
+// window, refilled with a size scaled to the remaining merge demand —
+// each shard contributes roughly remaining/P of the window, so that
+// estimate (plus slack) usually makes one fetch per shard suffice.
+func (h *Handle) fillCursor(pr *probe, j int, remaining int64) error {
+	if pr.idx[j] >= h.totals[j] {
+		pr.cur[j] = nil
+		return nil
+	}
+	cp, chunked := h.parts[j].(chunkedPart)
+	if !chunked {
+		x, err := h.parts[j].access(pr.idx[j], pr.bufs[j])
+		if err != nil {
+			return fmt.Errorf("shard: internal: part %d access(%d): %w", j, pr.idx[j], err)
+		}
+		pr.cur[j] = x
+		return nil
+	}
+	if pr.pi[j] >= len(pr.pend[j]) {
+		want := remaining/int64(len(h.parts)) + 16
+		if want > remaining {
+			want = remaining
+		}
+		if want > rangeChunk {
+			want = rangeChunk
+		}
+		if want < 1 {
+			want = 1
+		}
+		hi := pr.idx[j] + want
+		if hi > h.totals[j] {
+			hi = h.totals[j]
+		}
+		rows, err := cp.fetchRange(pr.idx[j], hi)
+		if err != nil {
+			return fmt.Errorf("shard: part %d range [%d, %d): %w", j, pr.idx[j], hi, err)
+		}
+		if int64(len(rows)) != hi-pr.idx[j] {
+			return fmt.Errorf("shard: part %d range [%d, %d) returned %d answers", j, pr.idx[j], hi, len(rows))
+		}
+		pr.pend[j], pr.pi[j] = rows, 0
+	}
+	pr.cur[j] = pr.pend[j][pr.pi[j]]
+	return nil
 }

@@ -150,32 +150,25 @@ func atomHasVar(at *cq.Atom, v cq.VarID) bool {
 // absent from every shard. Per-relation splitting fans out over the
 // bounded worker pool.
 func Split(q *cq.Query, in *database.Instance, pt Partitioning) []*database.Instance {
+	tasks := splitTasks(q, pt)
+	if pt.P == 1 {
+		// Degenerate partitioning: every tuple hashes to shard 0, so the
+		// single shard IS the original instance. Share each relation by
+		// reference instead of copying — the resulting structure is then
+		// exactly the unsharded one, built over the same storage.
+		out := database.NewInstance()
+		out.Dict = in.Dict
+		for _, t := range tasks {
+			if r := in.Relation(t.name); r != nil {
+				out.SetRelation(t.name, r)
+			}
+		}
+		return []*database.Instance{out}
+	}
 	outs := make([]*database.Instance, pt.P)
 	for i := range outs {
 		outs[i] = database.NewInstance()
 		outs[i].Dict = in.Dict
-	}
-
-	type task struct {
-		name string
-		col  int // v's column in the atom; -1 replicates
-	}
-	var tasks []task
-	seen := make(map[string]bool, len(q.Atoms))
-	for i := range q.Atoms {
-		at := &q.Atoms[i]
-		if seen[at.Rel] {
-			continue // identical duplicate atom (Choose rejected true self-joins)
-		}
-		seen[at.Rel] = true
-		col := -1
-		for c, u := range at.Vars {
-			if u == pt.Var {
-				col = c
-				break
-			}
-		}
-		tasks = append(tasks, task{name: at.Rel, col: col})
 	}
 
 	split := make([][]*database.Relation, len(tasks))
@@ -209,6 +202,91 @@ func Split(q *cq.Query, in *database.Instance, pt Partitioning) []*database.Inst
 		}
 		for i := range outs {
 			outs[i].SetRelation(t.name, split[ti][i])
+		}
+	}
+	return outs
+}
+
+// splitTask is one relation's splitting assignment: the column holding
+// the partition variable, or -1 to replicate by reference.
+type splitTask struct {
+	name string
+	col  int
+}
+
+// splitTasks derives the per-relation splitting plan from the query.
+func splitTasks(q *cq.Query, pt Partitioning) []splitTask {
+	var tasks []splitTask
+	seen := make(map[string]bool, len(q.Atoms))
+	for i := range q.Atoms {
+		at := &q.Atoms[i]
+		if seen[at.Rel] {
+			continue // identical duplicate atom (Choose rejected true self-joins)
+		}
+		seen[at.Rel] = true
+		col := -1
+		for c, u := range at.Vars {
+			if u == pt.Var {
+				col = c
+				break
+			}
+		}
+		tasks = append(tasks, splitTask{name: at.Rel, col: col})
+	}
+	return tasks
+}
+
+// SplitOwned is Split restricted to a subset of the shards: only the
+// owned shard instances are materialized, so a node in a P-way cluster
+// holding one shard pays 1/P of the split memory, not all of it.
+// Tuples hashing to non-owned shards are simply skipped; replicated
+// relations are still shared by reference. The result maps shard index
+// to instance for exactly the requested owned indices (deduplicated).
+func SplitOwned(q *cq.Query, in *database.Instance, pt Partitioning, owned []int) map[int]*database.Instance {
+	ownSet := make(map[int]bool, len(owned))
+	for _, s := range owned {
+		ownSet[s] = true
+	}
+	outs := make(map[int]*database.Instance, len(ownSet))
+	for s := range ownSet {
+		outs[s] = database.NewInstance()
+		outs[s].Dict = in.Dict
+	}
+	tasks := splitTasks(q, pt)
+	type result struct{ rels map[int]*database.Relation }
+	split := make([]result, len(tasks))
+	par.Do(len(tasks), func(ti int) {
+		t := tasks[ti]
+		r := in.Relation(t.name)
+		if r == nil {
+			return
+		}
+		rels := make(map[int]*database.Relation, len(ownSet))
+		if t.col < 0 {
+			for s := range ownSet {
+				rels[s] = r
+			}
+			split[ti] = result{rels: rels}
+			return
+		}
+		for s := range ownSet {
+			rels[s] = database.NewRelation(r.Arity())
+		}
+		n := r.Len()
+		for i := 0; i < n; i++ {
+			tu := r.Tuple(i)
+			if dst, ok := rels[ShardOf(tu[t.col], pt.P)]; ok {
+				dst.Append(tu...)
+			}
+		}
+		split[ti] = result{rels: rels}
+	})
+	for ti, t := range tasks {
+		if split[ti].rels == nil {
+			continue
+		}
+		for s, rel := range split[ti].rels {
+			outs[s].SetRelation(t.name, rel)
 		}
 	}
 	return outs

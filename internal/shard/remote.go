@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"rankedaccess/internal/access"
+	"rankedaccess/internal/cq"
+	"rankedaccess/internal/order"
+)
+
+// RemotePart is one shard's structure served by another process: the
+// same total/rank/access surface as a local part plus a windowed range
+// fetch so merges amortize the per-call round trip. Implementations
+// must be safe for concurrent use and must return answers that do not
+// alias shared mutable state.
+type RemotePart interface {
+	Total() int64
+	Rank(a order.Answer) (int64, bool, error)
+	Access(k int64) (order.Answer, error)
+	FetchRange(k0, k1 int64) ([]order.Answer, error)
+}
+
+// BatchRanker prices an answer on every shard of the partitioning in
+// one scatter round, filling ranks (length P, indexed by shard) and
+// reporting whether any shard holds the answer exactly. The network
+// implementation issues one RPC per node — each node ranks all its
+// owned shards locally — and runs the nodes in parallel, so a locate
+// iteration costs one access round trip plus one parallel rank round
+// trip regardless of P.
+type BatchRanker interface {
+	RankAll(a order.Answer, ranks []int64) (exact bool, err error)
+}
+
+// remotePart adapts a RemotePart to the internal part interface; it
+// also implements chunkedPart so AppendRange prefetches windows.
+type remotePart struct{ rp RemotePart }
+
+func (p remotePart) total() int64           { return p.rp.Total() }
+func (p remotePart) newBuf() *access.LexBuf { return nil }
+func (p remotePart) rank(a order.Answer) (int64, bool, error) {
+	return p.rp.Rank(a)
+}
+func (p remotePart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+	return p.rp.Access(k)
+}
+func (p remotePart) fetchRange(k0, k1 int64) ([]order.Answer, error) {
+	return p.rp.FetchRange(k0, k1)
+}
+
+// NewRemote assembles a Handle over network-served parts: the same
+// rank-merge machinery as the in-process sharded path (so distributed
+// answers are byte-identical by construction), with per-answer probes
+// going over parts[i] and whole-front rank pricing going through the
+// batch ranker when one is given. cmp must realize the same total
+// order every node's structures sort by; completed is the realized
+// lex order of layered builds (zero for SUM orders).
+func NewRemote(q *cq.Query, pt Partitioning, parts []RemotePart, cmp func(a, b order.Answer) int, ranker BatchRanker, completed order.Lex) *Handle {
+	ps := make([]part, len(parts))
+	for i, rp := range parts {
+		ps[i] = remotePart{rp: rp}
+	}
+	h := newHandle(q, pt, ps, cmp)
+	h.ranker = ranker
+	h.Completed = completed
+	return h
+}

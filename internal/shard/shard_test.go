@@ -206,7 +206,10 @@ func TestShardedLexMatchesSingle(t *testing.T) {
 					a[v] = values.Value(rng.Intn(30))
 				}
 				wantK, wantEx := single.Rank(a)
-				gotK, gotEx := sh.Rank(a)
+				gotK, gotEx, rerr := sh.Rank(a)
+				if rerr != nil {
+					t.Fatalf("P=%d Rank(%v): %v", p, a, rerr)
+				}
 				if wantK != gotK || wantEx != gotEx {
 					t.Fatalf("P=%d Rank(%v): single (%d,%v), sharded (%d,%v)",
 						p, a, wantK, wantEx, gotK, gotEx)
@@ -358,8 +361,8 @@ func TestShardedMaterializedSumMatchesSingle(t *testing.T) {
 					t.Fatalf("P=%d k=%d: %v vs %v", p, k, got, want)
 				}
 			}
-			inv, ok := sh.Rank(want)
-			if !ok || inv != k {
+			inv, ok, rerr := sh.Rank(want)
+			if rerr != nil || !ok || inv != k {
 				t.Fatalf("P=%d Rank(answer %d) = (%d, %v)", p, k, inv, ok)
 			}
 		}
