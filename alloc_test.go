@@ -6,6 +6,7 @@
 package rankedaccess
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/trace"
 	"rankedaccess/internal/values"
 	"rankedaccess/internal/workload"
 )
@@ -79,6 +81,51 @@ func TestAppendRangeAmortizedAllocs(t *testing.T) {
 	})
 	if perRun >= float64(win)/4 {
 		t.Fatalf("AppendRange allocates %v times per %d-answer window", perRun, win)
+	}
+}
+
+// TestTracingDisabledZeroAllocs is the acceptance guard for the
+// tracing integration: with tracing disabled (nil *trace.Tracer — the
+// default configuration), the context-threaded serving probe path must
+// allocate exactly as much as before tracing existed, i.e. zero. This
+// pins both halves of the contract: Tracer.Start/Span.End on a nil
+// tracer are free, and the ctx plumbing through the engine's *Ctx
+// variants adds no hidden boxing.
+func TestTracingDisabledZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, in := workload.TwoPath(rng, 1<<13, 1<<10, 0.3)
+	e := engine.New(in, engine.Options{})
+	pq, err := e.Register("guard", engine.Spec{Query: "Q(x, y, z) :- R(x, y), S(y, z)", Order: "x, y, z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pq.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := h.Total()
+	if total == 0 {
+		t.Fatal("empty join")
+	}
+	var tracer *trace.Tracer
+	dst := make([]values.Value, 0, 8)
+	bg := context.Background()
+	k := int64(0)
+	step := total/89 + 1
+	if n := testing.AllocsPerRun(500, func() {
+		ctx, sp := tracer.Start(bg, "bench.access", trace.KindServer)
+		h, err := pq.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err = h.AppendTupleCtx(ctx, dst[:0], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp.End()
+		k = (k + step) % total
+	}); n != 0 {
+		t.Fatalf("tracing-disabled probe path allocates %v times per request, want 0", n)
 	}
 }
 

@@ -1,6 +1,11 @@
 // Package client is the Go SDK for the ranked direct-access service's
 // v1 prepared-query API (cmd/serve). It depends only on the standard
-// library, so importing it does not pull in the engine.
+// library (plus the dependency-free internal/trace context package),
+// so importing it does not pull in the engine.
+//
+// When the calling context carries a trace span (internal/trace), every
+// request sends a W3C traceparent header, so a traced caller's requests
+// join its trace on the server side.
 //
 // The shape mirrors prepared statements: Dial a server, Register a
 // spec once under a name, then probe the returned Prepared by name —
@@ -36,6 +41,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"rankedaccess/internal/trace"
 )
 
 // Value is a dictionary-encoded domain value, as served by the engine.
@@ -205,6 +212,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, accep
 		}
 		if accept != "" {
 			req.Header.Set("Accept", accept)
+		}
+		if sc, ok := trace.SpanContextOf(ctx); ok {
+			req.Header.Set("traceparent", sc.Traceparent())
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {

@@ -10,6 +10,15 @@
 //	dash -addr http://localhost:8080            # live terminal view
 //	dash -addr http://localhost:8080 -once      # one snapshot, then exit (CI-friendly)
 //	dash -addr http://localhost:8080 -html dash.html  # also write an HTML snapshot each poll
+//	dash -addr http://localhost:8080 -traces http://localhost:6060  # slowest-traces panel from the ops listener
+//
+// With -traces pointing at the server's ops listener, dash polls
+// GET /debug/traces too and renders the slowest stored traces (id,
+// root span, duration, keep reason) under the metrics. Under -once the
+// panel doubles as a tracing health gate: when the window saw traffic
+// but the store holds no traces at all, dash exits non-zero — a server
+// whose sampler keeps nothing (mis-set rate, slow threshold above
+// every request) has silently lost its debugging surface.
 //
 // Rates and quantiles are computed over the polling interval (lifetime
 // totals on the first poll and under -once), so the view tracks what
@@ -30,6 +39,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"html"
@@ -54,6 +64,7 @@ func main() {
 		htmlOut  = flag.String("html", "", "also write an HTML snapshot to this file each poll")
 		slo      = flag.Float64("slo", 0.999, "availability SLO target (success fraction)")
 		burnMax  = flag.Float64("burn", 1.0, "error-budget burn-rate threshold for the ALERT marker and -once exit")
+		tracesAt = flag.String("traces", "", "ops-listener base URL for the slowest-traces panel (GET /debug/traces); off when empty")
 	)
 	flag.Parse()
 	base := strings.TrimRight(*addr, "/")
@@ -75,12 +86,21 @@ func main() {
 		}
 		hist.push(cur)
 		render(os.Stdout, base, prev, cur, hist)
+		tr := scrapeTraces(hc, *tracesAt)
+		renderTraces(os.Stdout, *tracesAt, tr)
 		if *htmlOut != "" {
 			writeHTML(*htmlOut, base, prev, cur, hist)
 		}
 		if fast, _, ok := hist.burn(cur, fastWindow); ok && fast >= *burnMax {
 			fmt.Fprintf(os.Stderr, "dash: fast-window burn %.2f >= %.2f: error budget burning\n", fast, *burnMax)
 			os.Exit(1)
+		}
+		if *tracesAt != "" {
+			served := cur.sum("ra_http_requests_total") - prev.sum("ra_http_requests_total")
+			if err := traceGate(tr, served); err != nil {
+				fmt.Fprintf(os.Stderr, "dash: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -94,6 +114,9 @@ func main() {
 		hist.push(cur)
 		fmt.Print("\033[H\033[2J") // clear terminal between polls
 		render(os.Stdout, base, prev, cur, hist)
+		if *tracesAt != "" {
+			renderTraces(os.Stdout, *tracesAt, scrapeTraces(hc, *tracesAt))
+		}
 		if *htmlOut != "" {
 			writeHTML(*htmlOut, base, prev, cur, hist)
 		}
@@ -413,6 +436,86 @@ func burnLine(hist *history, cur *snap) string {
 		fmt.Fprintf(&b, "   ALERT: budget burning in both windows")
 	}
 	return b.String()
+}
+
+// traceList mirrors the /debug/traces list response (see
+// internal/trace/explorer.go).
+type traceList struct {
+	Traces []traceEntry `json:"traces"`
+	Err    error        `json:"-"` // scrape failure, kept for display
+}
+
+type traceEntry struct {
+	ID         string `json:"id"`
+	Root       string `json:"root"`
+	DurationUS int64  `json:"duration_us"`
+	Spans      int    `json:"spans"`
+	Reason     string `json:"reason"`
+	Error      string `json:"error,omitempty"`
+}
+
+// scrapeTraces fetches the slowest stored traces from the ops
+// listener; a nil return means the panel is off.
+func scrapeTraces(hc *http.Client, opsBase string) *traceList {
+	if opsBase == "" {
+		return nil
+	}
+	url := strings.TrimRight(opsBase, "/") + "/debug/traces?sort=dur&limit=5"
+	resp, err := hc.Get(url)
+	if err != nil {
+		return &traceList{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &traceList{Err: fmt.Errorf("GET /debug/traces: %s", resp.Status)}
+	}
+	var tl traceList
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&tl); err != nil {
+		return &traceList{Err: fmt.Errorf("decode /debug/traces: %w", err)}
+	}
+	return &tl
+}
+
+// renderTraces draws the slowest-traces panel.
+func renderTraces(w io.Writer, opsBase string, tl *traceList) {
+	if tl == nil {
+		return
+	}
+	if tl.Err != nil {
+		fmt.Fprintf(w, "traces    unavailable: %v\n", tl.Err)
+		return
+	}
+	if len(tl.Traces) == 0 {
+		fmt.Fprintln(w, "traces    none stored")
+		return
+	}
+	fmt.Fprintln(w, "slowest traces:")
+	for _, t := range tl.Traces {
+		line := fmt.Sprintf("  %s  %-24s %8s  %d spans  [%s]",
+			t.ID, t.Root, ms(float64(t.DurationUS)/1e6), t.Spans, t.Reason)
+		if t.Error != "" {
+			line += "  ERR " + t.Error
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "  waterfall: GET %s/debug/traces?id=<id>\n", strings.TrimRight(opsBase, "/"))
+}
+
+// traceGate is the -once tracing health check: traffic in the window
+// with an empty trace store means the sampler kept nothing — tracing
+// is silently broken (or configured to keep nothing), which CI should
+// catch before an operator needs a trace that was never stored.
+func traceGate(tl *traceList, served float64) error {
+	if tl == nil {
+		return nil
+	}
+	if tl.Err != nil {
+		return fmt.Errorf("trace explorer unreachable: %w", tl.Err)
+	}
+	if served > 0 && len(tl.Traces) == 0 {
+		return fmt.Errorf("tracing gate: %.0f requests served this window but no traces stored (sampler kept nothing)", served)
+	}
+	return nil
 }
 
 func ms(seconds float64) string {

@@ -25,6 +25,14 @@
 // baseline over the same instance — see remote.go):
 //
 //	rabench -remote 127.0.0.1:9101,127.0.0.1:9102 -remote-shards 4
+//
+// Tracing overhead benchmark (per-request serving cost with and without
+// an active tracer, for CI's traced/untraced ratio gate — see
+// tracing.go):
+//
+//	rabench -tracing > tracing.txt
+//	go run ./cmd/benchgate -new tracing.txt \
+//	  -ratio 'BenchmarkTracedAccess/BenchmarkUntracedAccess<=1.05'
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 		shards     = flag.String("shards", "", "benchmark sharded execution at these shard counts (e.g. 1,2,4,8) instead of the experiments")
 		mixed      = flag.Bool("mixed", false, "benchmark read latency under concurrent writes (MVCC write path) instead of the experiments")
+		tracing    = flag.Bool("tracing", false, "benchmark per-request tracing overhead (traced vs untraced) instead of the experiments")
 		remote     = flag.String("remote", "", "benchmark the coordinator path against these shard-node addrs (comma-separated) instead of the experiments")
 		remoteP    = flag.Int("remote-shards", 4, "cluster-wide shard count for -remote")
 	)
@@ -95,6 +104,13 @@ func main() {
 	}
 	if *mixed {
 		if err := runMixedBench(os.Stdout, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tracing {
+		if err := runTracingBench(os.Stdout, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"rankedaccess/internal/engine"
+	"rankedaccess/internal/trace"
+	"rankedaccess/internal/values"
+	"rankedaccess/internal/workload"
+)
+
+// runTracingBench benchmarks the cost of the tracing layer on the
+// serving read path: requests with no tracer (the disabled
+// configuration — context plumbing only) against requests under a
+// tracer at a production-ish head-sampling rate, spans started and
+// ended exactly where the serve middleware does it — once per request,
+// not per probe. Each simulated request is one epoch acquire plus a
+// small probe batch, mirroring a /v1 access body with a handful of ks.
+// Output is Go benchmark format so CI bounds the overhead as a ratio:
+//
+//	rabench -tracing > tracing.txt
+//	go run ./cmd/benchgate -new tracing.txt \
+//	  -ratio 'BenchmarkTracedAccess/BenchmarkUntracedAccess<=1.05'
+//
+// Names are slash-free and the ns/op value is the MEDIAN request
+// latency, for the same reasons as the mixed benchmark (see mixed.go).
+// The two modes run INTERLEAVED in small alternating chunks rather
+// than as two sequential passes: on a shared CI host the clock drifts
+// several percent over a pass, which would swamp a 5% gate; alternating
+// chunks expose both modes to the same drift.
+func runTracingBench(w io.Writer, scale int, seed int64) error {
+	n := 8192 << scale
+	rng := rand.New(rand.NewSource(seed))
+	q, in := workload.TwoPath(rng, n, n/4, 0.4)
+	qtext := q.String()
+	eng := engine.New(in, engine.Options{})
+	pq, err := eng.Register("traced", engine.Spec{Query: qtext, Order: "x, y, z"})
+	if err != nil {
+		return fmt.Errorf("rabench: tracing: %w", err)
+	}
+	if _, err := pq.Acquire(); err != nil {
+		return fmt.Errorf("rabench: tracing: %w", err)
+	}
+
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: rankedaccess/cmd/rabench\n")
+	fmt.Fprintf(w, "# tracing overhead: n=%d per relation, %d probes per request, interleaved chunks of %d\n",
+		n, probesPerRequest, chunkRequests)
+
+	// Rate 0.01 with a high slow threshold: nearly every trace is
+	// started, recorded, and discarded at root End — the worst case for
+	// steady-state overhead, since kept traces are the rare path.
+	tracer := trace.New(trace.Options{Rate: 0.01, Slow: time.Second, Buffer: 256})
+
+	// Identical probe sequences per mode: same seed, separate streams.
+	rngU := rand.New(rand.NewSource(seed + 1))
+	rngT := rand.New(rand.NewSource(seed + 1))
+
+	// Warm caches and the first epoch acquire outside the measurement.
+	if _, err := tracingChunk(pq, nil, rand.New(rand.NewSource(seed+2))); err != nil {
+		return err
+	}
+
+	const requests = 20000
+	untraced := make([]int64, 0, requests)
+	traced := make([]int64, 0, requests)
+	for len(untraced) < requests {
+		u, err := tracingChunk(pq, nil, rngU)
+		if err != nil {
+			return err
+		}
+		untraced = append(untraced, u...)
+		tr, err := tracingChunk(pq, tracer, rngT)
+		if err != nil {
+			return err
+		}
+		traced = append(traced, tr...)
+	}
+	sort.Slice(untraced, func(i, j int) bool { return untraced[i] < untraced[j] })
+	sort.Slice(traced, func(i, j int) bool { return traced[i] < traced[j] })
+	report(w, "BenchmarkUntracedAccess", untraced)
+	report(w, "BenchmarkTracedAccess", traced)
+
+	started, kept := tracer.Stats()
+	fmt.Fprintf(w, "# traces started=%d kept=%d\n", started, kept)
+	eng.Quiesce()
+	return nil
+}
+
+const (
+	// probesPerRequest sizes the simulated request: the middleware
+	// opens ONE span per HTTP request however many ks the body carries,
+	// so the span cost amortizes exactly as it does in production.
+	probesPerRequest = 16
+	// chunkRequests is the interleaving grain — small enough that
+	// traced and untraced chunks see the same machine conditions.
+	chunkRequests = 100
+)
+
+// tracingChunk runs chunkRequests simulated requests — span (when
+// tracer is non-nil), epoch acquire, probe batch, span end — and
+// returns the per-request latencies, unsorted.
+func tracingChunk(pq *engine.PreparedQuery, tracer *trace.Tracer, rng *rand.Rand) ([]int64, error) {
+	lat := make([]int64, 0, chunkRequests)
+	var dst []values.Value
+	bg := context.Background()
+	for i := 0; i < chunkRequests; i++ {
+		t0 := time.Now()
+		ctx, sp := tracer.Start(bg, "bench.access", trace.KindServer)
+		h, err := pq.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		total := h.Total()
+		if total == 0 {
+			return nil, fmt.Errorf("rabench: tracing: empty join")
+		}
+		for j := 0; j < probesPerRequest; j++ {
+			dst, err = h.AppendTupleCtx(ctx, dst[:0], rng.Int63n(total))
+			if err != nil {
+				return nil, err
+			}
+		}
+		sp.End()
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	return lat, nil
+}

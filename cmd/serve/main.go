@@ -31,6 +31,17 @@
 // /debug/pprof plus /metrics and the health probes — keep it on
 // loopback or an internal interface, never the public address.
 //
+// Distributed tracing (-trace-rate): every request runs under a
+// request-scoped span that propagates HTTP → coordinator → RPC →
+// shard via W3C traceparent headers and the RARC v2 wire field, so one
+// trace id stitches a scatter-gather across every node that served it.
+// Traces are kept when head-sampled at -trace-rate, on any error, or
+// when slower than -trace-slow, and served from an in-memory ring at
+// GET /debug/traces on the ops listener (list, ?sort=dur, ?id=<trace>
+// waterfall). Histogram exemplars link /metrics latency buckets to
+// stored trace ids. -trace-export-url additionally POSTs finished
+// traces as OTLP/JSON to a collector.
+//
 // With -snapshot-dir the server warm-starts from the newest snapshot in
 // the directory (instance, built structures, and prepared-query
 // registry restored in milliseconds, structures mapped zero-copy; -data
@@ -88,6 +99,7 @@ import (
 	"rankedaccess/internal/rpc"
 	"rankedaccess/internal/serve"
 	"rankedaccess/internal/snapshot"
+	"rankedaccess/internal/trace"
 )
 
 // drainTimeout bounds graceful shutdown: in-flight requests (including
@@ -112,7 +124,12 @@ func main() {
 		streamWrite = flag.Duration("stream-write-timeout", 0, "per-chunk NDJSON write deadline so stalled readers cannot pin an epoch (0 = 30s, negative disables)")
 		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes, 413 beyond it (0 = 256 MiB)")
 
-		opsAddr     = flag.String("ops-addr", "", "operator listener (pprof + /metrics + health probes) on a separate, private address; off when empty")
+		opsAddr = flag.String("ops-addr", "", "operator listener (pprof + /metrics + health probes + /debug/traces) on a separate, private address; off when empty")
+
+		traceRate   = flag.Float64("trace-rate", -1, "head-sampling rate in [0,1]; errors and the slow tail are always kept; negative disables tracing entirely")
+		traceSlow   = flag.Duration("trace-slow", 0, "always keep traces slower than this (0 = 250ms)")
+		traceBuffer = flag.Int("trace-buffer", 0, "in-memory trace ring capacity served at /debug/traces (0 = 1024)")
+		traceExport = flag.String("trace-export-url", "", "POST finished traces as OTLP/JSON to this collector URL (off when empty)")
 		logRequests = flag.Bool("log-requests", false, "emit one JSON log record per request to stderr (request ids propagate into engine events)")
 		logMaxPS    = flag.Int("log-max-per-sec", 0, "request-log records kept per second before sampling kicks in (0 = 500, negative disables sampling)")
 
@@ -156,6 +173,28 @@ func main() {
 		appLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
+	// One tracer serves the whole process: the HTTP middleware roots
+	// (or adopts) request spans, the coordinator's scatter-gather and
+	// RPC clients continue them over the wire, and a shard role's RPC
+	// server + node continue traces arriving from coordinators.
+	var tracer *trace.Tracer
+	if *traceRate >= 0 {
+		if *traceRate > 1 {
+			log.Fatal("serve: -trace-rate must be in [0, 1]")
+		}
+		topts := trace.Options{Rate: *traceRate, Slow: *traceSlow, Buffer: *traceBuffer}
+		if *traceExport != "" {
+			topts.Export = trace.NewExporter(*traceExport, "rankedaccess-"+*role)
+		}
+		tracer = trace.New(topts)
+		log.Printf("serve: tracing on (rate %g, slow %s); explorer at /debug/traces on the ops listener", *traceRate, *traceSlow)
+		if *opsAddr == "" {
+			log.Printf("serve: warning: tracing without -ops-addr keeps traces but exposes no /debug/traces listener")
+		}
+	} else if *traceExport != "" {
+		log.Fatal("serve: -trace-export-url requires -trace-rate >= 0")
+	}
+
 	var e *engine.Engine
 	var coord *cluster.Coordinator
 	warm := false
@@ -184,6 +223,7 @@ func main() {
 				log.Fatalf("serve: %v", err)
 			}
 			coord = cluster.NewCoordinator(cfg, rpc.Options{})
+			coord.SetTracer(tracer)
 			eopts.Remote = coord
 			log.Printf("serve: coordinator over %d shards across %d nodes", cfg.Shards, len(cfg.Nodes))
 		}
@@ -213,7 +253,10 @@ func main() {
 	var readyCheck func() []string
 	switch *role {
 	case "shard":
-		rsrv = rpc.NewServer(cluster.NewNode(e))
+		node := cluster.NewNode(e)
+		node.SetTracer(tracer)
+		rsrv = rpc.NewServer(node)
+		rsrv.SetTracer(tracer)
 		extraMetrics = rsrv.Instrument
 	case "coordinator":
 		extraMetrics = coord.RegisterMetrics
@@ -233,6 +276,7 @@ func main() {
 		LogMaxPerSec:       *logMaxPS,
 		ReadyCheck:         readyCheck,
 		ExtraMetrics:       extraMetrics,
+		Tracer:             tracer,
 	})
 
 	if rsrv != nil {
@@ -356,6 +400,9 @@ func main() {
 		}
 		if coord != nil {
 			coord.Close()
+		}
+		if tracer != nil {
+			tracer.Close()
 		}
 		log.Printf("serve: drained, bye")
 	}

@@ -39,6 +39,7 @@ type testCluster struct {
 	coord   *Coordinator
 	ce      *engine.Engine // coordinator-mode engine
 	engines []*engine.Engine
+	nodes   []*Node
 	servers []*rpc.Server
 	addrs   []string
 }
@@ -59,10 +60,12 @@ func startCluster(t *testing.T, nNodes, p int, wrap func(net.Listener) net.Liste
 		if wrap != nil {
 			lis = wrap(lis)
 		}
-		srv := rpc.NewServer(NewNode(e))
+		node := NewNode(e)
+		srv := rpc.NewServer(node)
 		go func() { _ = srv.Serve(lis) }()
 		t.Cleanup(func() { _ = srv.Close() })
 		tc.engines = append(tc.engines, e)
+		tc.nodes = append(tc.nodes, node)
 		tc.servers = append(tc.servers, srv)
 		tc.addrs = append(tc.addrs, lis.Addr().String())
 		nodes[i] = NodeConfig{Addr: tc.addrs[i]}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/classify"
@@ -13,6 +14,7 @@ import (
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/rpc"
 	"rankedaccess/internal/shard"
+	"rankedaccess/internal/trace"
 )
 
 // Coordinator implements engine.RemoteBuilder over a cluster: it plans
@@ -31,6 +33,7 @@ import (
 type Coordinator struct {
 	table  *Table
 	prober *Prober
+	tracer *trace.Tracer
 }
 
 // NewCoordinator builds a coordinator over the cluster layout and
@@ -44,6 +47,16 @@ var _ engine.RemoteBuilder = (*Coordinator)(nil)
 
 // Table exposes the routing table (for readiness and metrics).
 func (c *Coordinator) Table() *Table { return c.table }
+
+// SetTracer makes scatter-gather emit one span per peer per rank
+// round (and attaches the tracer to every peer RPC client so outbound
+// calls propagate trace context on the wire). Call before BuildRemote.
+func (c *Coordinator) SetTracer(t *trace.Tracer) {
+	c.tracer = t
+	for _, p := range c.table.Peers {
+		p.Client.SetTracer(t)
+	}
+}
 
 // ReadyReasons reports why the coordinator is not ready (one reason
 // per unreachable node); empty means ready.
@@ -191,7 +204,7 @@ func (c *Coordinator) BuildRemote(ctx context.Context, s engine.Spec) (*engine.R
 	if err != nil {
 		return nil, err
 	}
-	sh := shard.NewRemote(pl.ps.Q, pl.pt, parts, cmp, &clusterRanker{peers: rankPeers, p: pl.pt.P}, completed)
+	sh := shard.NewRemote(pl.ps.Q, pl.pt, parts, cmp, &clusterRanker{peers: rankPeers, p: pl.pt.P, tracer: c.tracer}, completed)
 	return &engine.RemoteHandle{
 		Query: pl.ps.Q,
 		Plan: engine.Plan{
@@ -290,11 +303,11 @@ var _ shard.RemotePart = (*clusterPart)(nil)
 
 func (p *clusterPart) Total() int64 { return p.total }
 
-func (p *clusterPart) Rank(a order.Answer) (int64, bool, error) {
+func (p *clusterPart) Rank(ctx context.Context, a order.Answer) (int64, bool, error) {
 	// Single-shard rank: reuse the batched call with this part's owner;
 	// it ranks all the node's shards, we pick ours. This path only runs
 	// when no BatchRanker is installed (not the cluster default).
-	ranks, exact, err := p.c.Rank(context.Background(), p.spec, p.version, a)
+	ranks, exact, err := p.c.Rank(ctx, p.spec, p.version, a)
 	if err != nil {
 		return 0, false, err
 	}
@@ -306,12 +319,12 @@ func (p *clusterPart) Rank(a order.Answer) (int64, bool, error) {
 	return 0, false, fmt.Errorf("cluster: shard %d missing from rank response", p.shard)
 }
 
-func (p *clusterPart) Access(k int64) (order.Answer, error) {
-	return p.c.Access(context.Background(), p.spec, p.version, p.shard, k)
+func (p *clusterPart) Access(ctx context.Context, k int64) (order.Answer, error) {
+	return p.c.Access(ctx, p.spec, p.version, p.shard, k)
 }
 
-func (p *clusterPart) FetchRange(k0, k1 int64) ([]order.Answer, error) {
-	return p.c.Range(context.Background(), p.spec, p.version, p.shard, k0, k1)
+func (p *clusterPart) FetchRange(ctx context.Context, k0, k1 int64) ([]order.Answer, error) {
+	return p.c.Range(ctx, p.spec, p.version, p.shard, k0, k1)
 }
 
 // rankPeer is one node's batched-rank target.
@@ -327,16 +340,21 @@ type rankPeer struct {
 // locally. This is what keeps a global Access(k) at O(log n) rounds
 // instead of O(P log n) sequential calls.
 type clusterRanker struct {
-	peers []rankPeer
-	p     int
+	peers  []rankPeer
+	p      int
+	tracer *trace.Tracer
+	rounds atomic.Uint64
 }
 
 var _ shard.BatchRanker = (*clusterRanker)(nil)
 
-func (r *clusterRanker) RankAll(a order.Answer, ranks []int64) (bool, error) {
+func (r *clusterRanker) RankAll(ctx context.Context, a order.Answer, ranks []int64) (bool, error) {
 	if len(ranks) != r.p {
 		return false, fmt.Errorf("cluster: %d rank slots for %d shards", len(ranks), r.p)
 	}
+	// One rank round = one RankAll = one locate iteration; number them
+	// so a trace waterfall shows the binary search converging.
+	round := int64(r.rounds.Add(1))
 	exacts := make([]bool, len(r.peers))
 	errs := make([]error, len(r.peers))
 	var wg sync.WaitGroup
@@ -345,11 +363,22 @@ func (r *clusterRanker) RankAll(a order.Answer, ranks []int64) (bool, error) {
 		go func(i int) {
 			defer wg.Done()
 			pr := &r.peers[i]
-			got, ex, err := pr.c.Rank(context.Background(), pr.spec, pr.version, a)
+			// The per-peer rank-round span: the unit of scatter-gather
+			// attribution (which peer, which round ate the budget).
+			sctx, span := r.tracer.Start(ctx, "cluster.rank_round", trace.KindInternal)
+			span.SetAttr(
+				trace.Str("peer", pr.c.Addr()),
+				trace.Int("round_seq", round),
+				trace.Int("owned_shards", int64(len(pr.owned))),
+			)
+			got, ex, err := pr.c.Rank(sctx, pr.spec, pr.version, a)
 			if err != nil {
+				span.SetError(err)
+				span.End()
 				errs[i] = err
 				return
 			}
+			span.End()
 			for j, s := range pr.owned {
 				ranks[s] = got[j]
 			}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/order"
 	"rankedaccess/internal/rpc"
 	"rankedaccess/internal/shard"
+	"rankedaccess/internal/trace"
 )
 
 // maxNodeBuilds bounds the node's build cache; above it, builds for
@@ -27,6 +29,8 @@ type Node struct {
 
 	mu     sync.Mutex
 	builds map[string]*buildEntry
+
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // buildEntry is one cached owned-shard build, single-flighted so
@@ -40,6 +44,21 @@ type buildEntry struct {
 // NewNode wraps an engine as an RPC backend.
 func NewNode(e *engine.Engine) *Node {
 	return &Node{e: e, builds: make(map[string]*buildEntry)}
+}
+
+// SetTracer makes probes emit per-shard engine spans under the RPC
+// server span carried in their contexts. nil disables.
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
+
+// span starts a node-level engine span when a tracer is attached.
+func (n *Node) span(ctx context.Context, name string, attrs ...trace.Attr) (context.Context, *trace.Span) {
+	t := n.tracer.Load()
+	if t == nil {
+		return ctx, nil
+	}
+	sctx, sp := t.Start(ctx, name, trace.KindInternal)
+	sp.SetAttr(attrs...)
+	return sctx, sp
 }
 
 var _ rpc.Backend = (*Node)(nil)
@@ -172,13 +191,17 @@ func (n *Node) Count(ctx context.Context, spec rpc.CountSpec) (int64, error) {
 // Rank prices a on every owned shard in one call — the node-local half
 // of the coordinator's one-scatter-round rank pricing.
 func (n *Node) Rank(ctx context.Context, spec rpc.Spec, version uint64, a order.Answer) ([]int64, bool, error) {
+	ctx, sp := n.span(ctx, "node.rank", trace.Int("owned_shards", int64(len(spec.Owned))))
+	defer sp.End()
 	nb, err := n.getVersioned(ctx, spec, version)
 	if err != nil {
+		sp.SetError(err)
 		return nil, false, err
 	}
 	ranks := make([]int64, len(spec.Owned))
 	exact, err := nb.Owned.RankAll(a, spec.Owned, ranks)
 	if err != nil {
+		sp.SetError(err)
 		return nil, false, err
 	}
 	return ranks, exact, nil
@@ -186,20 +209,34 @@ func (n *Node) Rank(ctx context.Context, spec rpc.Spec, version uint64, a order.
 
 // Access returns one owned shard's k-th local answer.
 func (n *Node) Access(ctx context.Context, spec rpc.Spec, version uint64, s int, k int64) (order.Answer, error) {
+	ctx, sp := n.span(ctx, "node.access", trace.Int("shard", int64(s)), trace.Int("k", k))
+	defer sp.End()
 	nb, err := n.getVersioned(ctx, spec, version)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
-	return nb.Owned.Access(s, k)
+	a, err := nb.Owned.Access(s, k)
+	if err != nil {
+		sp.SetError(err)
+	}
+	return a, err
 }
 
 // Range returns one owned shard's local answers k0 ≤ k < k1.
 func (n *Node) Range(ctx context.Context, spec rpc.Spec, version uint64, s int, k0, k1 int64) ([]order.Answer, error) {
+	ctx, sp := n.span(ctx, "node.range", trace.Int("shard", int64(s)), trace.Int("k0", k0), trace.Int("k1", k1))
+	defer sp.End()
 	nb, err := n.getVersioned(ctx, spec, version)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
-	return nb.Owned.Range(s, k0, k1)
+	rows, err := nb.Owned.Range(s, k0, k1)
+	if err != nil {
+		sp.SetError(err)
+	}
+	return rows, err
 }
 
 // Stats reports the node's identity counters.

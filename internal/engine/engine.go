@@ -58,6 +58,7 @@ import (
 	"rankedaccess/internal/reqid"
 	"rankedaccess/internal/selection"
 	"rankedaccess/internal/shard"
+	"rankedaccess/internal/trace"
 	"rankedaccess/internal/values"
 )
 
@@ -263,11 +264,18 @@ func (h *Handle) Total() int64 {
 
 // Access returns the k-th answer in the handle's order.
 func (h *Handle) Access(k int64) (order.Answer, error) {
+	return h.AccessCtx(context.Background(), k)
+}
+
+// AccessCtx is Access with a caller context: on a coordinator handle
+// the context rides the network scatter (trace propagation, deadline);
+// in-process structures ignore it.
+func (h *Handle) AccessCtx(ctx context.Context, k int64) (order.Answer, error) {
 	switch {
 	case h.ov != nil:
 		return h.ov.Access(k)
 	case h.sh != nil:
-		a, err := h.sh.Access(k)
+		a, err := h.sh.AccessCtx(ctx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -355,11 +363,16 @@ func (h *Handle) ShardTotals() []int64 {
 // zero-allocation access path (probe scratch comes from a pool, output
 // goes into dst); the other structures only pay dst growth.
 func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error) {
+	return h.AppendTupleCtx(context.Background(), dst, k)
+}
+
+// AppendTupleCtx is AppendTuple with a caller context (see AccessCtx).
+func (h *Handle) AppendTupleCtx(ctx context.Context, dst []values.Value, k int64) ([]values.Value, error) {
 	switch {
 	case h.ov != nil:
 		return h.ov.AppendTuple(dst, k)
 	case h.sh != nil:
-		return h.sh.AppendTuple(dst, h.Query.Head, k)
+		return h.sh.AppendTupleCtx(ctx, dst, h.Query.Head, k)
 	case h.lex != nil:
 		return h.lex.AppendTuple(dst, k)
 	case h.sum != nil:
@@ -383,6 +396,11 @@ func (h *Handle) AppendTuple(dst []values.Value, k int64) ([]values.Value, error
 // range, so batched scans of a built structure run allocation-free
 // modulo dst growth.
 func (h *Handle) AccessRange(dst []values.Value, k0, k1 int64) ([]values.Value, error) {
+	return h.AccessRangeCtx(context.Background(), dst, k0, k1)
+}
+
+// AccessRangeCtx is AccessRange with a caller context (see AccessCtx).
+func (h *Handle) AccessRangeCtx(ctx context.Context, dst []values.Value, k0, k1 int64) ([]values.Value, error) {
 	if k0 < 0 || k1 < k0 {
 		return dst, fmt.Errorf("engine: bad access range [%d, %d)", k0, k1)
 	}
@@ -390,14 +408,14 @@ func (h *Handle) AccessRange(dst []values.Value, k0, k1 int64) ([]values.Value, 
 		return h.ov.AppendRange(dst, k0, k1)
 	}
 	if h.sh != nil {
-		return h.sh.AppendRange(dst, h.Query.Head, k0, k1)
+		return h.sh.AppendRangeCtx(ctx, dst, h.Query.Head, k0, k1)
 	}
 	if h.lex != nil {
 		return h.lex.AppendRange(dst, k0, k1)
 	}
 	for k := k0; k < k1; k++ {
 		var err error
-		dst, err = h.AppendTuple(dst, k)
+		dst, err = h.AppendTupleCtx(ctx, dst, k)
 		if err != nil {
 			return dst, err
 		}
@@ -586,6 +604,13 @@ func (e *Engine) versionNow() uint64 { return e.vnow.Load() }
 // structures are NOT purged: the next request for one catches up from
 // the log — see the package comment.
 func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
+	return e.ApplyBatchCtx(context.Background(), muts)
+}
+
+// ApplyBatchCtx is ApplyBatch with a caller context, used only for
+// trace attribution: the WAL append and in-memory apply are recorded
+// as span events on the request's span when one is active.
+func (e *Engine) ApplyBatchCtx(ctx context.Context, muts []delta.Mutation) (uint64, error) {
 	if e.remote != nil {
 		return 0, ErrReadOnly
 	}
@@ -601,6 +626,7 @@ func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
 	}
 	b := delta.Batch{Seq: e.version + 1, Muts: muts}
 	if e.wal != nil {
+		walStart := time.Now()
 		if err := e.wal.Append(b); err != nil {
 			if e.log != nil {
 				e.log.LogAttrs(context.Background(), slog.LevelError, "engine: wal append failed",
@@ -608,6 +634,10 @@ func (e *Engine) ApplyBatch(muts []delta.Mutation) (uint64, error) {
 			}
 			return 0, fmt.Errorf("engine: %w", err)
 		}
+		trace.FromContext(ctx).AddEvent("wal.append",
+			trace.Int("seq", int64(b.Seq)),
+			trace.Int("mutations", int64(len(muts))),
+			trace.Int("duration_us", time.Since(walStart).Microseconds()))
 	}
 	applyMuts(e.in, muts)
 	e.wlog.Append(b)
@@ -1072,6 +1102,10 @@ func (e *Engine) prepareOnce(ctx context.Context, s Spec, key string) (*Handle, 
 			fl.h.version = version
 		}
 		e.logBuild(ctx, s, version, stale != nil, time.Since(start), fl.err)
+		trace.FromContext(ctx).AddEvent("engine.build",
+			trace.Str("query", s.Query),
+			trace.Int("version", int64(version)),
+			trace.Int("duration_us", time.Since(start).Microseconds()))
 	}
 
 	e.cmu.Lock()

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExemplarRoundTrip drives an exemplar through ObserveExemplar →
+// WritePrometheus → ParseText and checks it lands on the right bucket
+// line with the right trace id, value, and a sane timestamp.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "request latency.", []float64{0.01, 0.1, 1}, "endpoint", "access")
+	h.Observe(0.005) // untraced: no exemplar on the 0.01 bucket yet
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(0.5, "") // empty trace id: plain observe
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText rejected our own output: %v\n%s", err, text)
+	}
+	var withEx, withoutEx int
+	for _, s := range samples {
+		if s.Exemplar == nil {
+			withoutEx++
+			continue
+		}
+		withEx++
+		if s.Name != "req_seconds_bucket" || s.Label("le") != "0.1" {
+			t.Errorf("exemplar on wrong line: %s le=%s", s.Name, s.Label("le"))
+		}
+		if s.Label("endpoint") != "access" {
+			t.Errorf("fixed labels lost: %+v", s.Labels)
+		}
+		if got := s.Exemplar.TraceID(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("exemplar trace id %q", got)
+		}
+		if s.Exemplar.Value != 0.05 {
+			t.Errorf("exemplar value %v, want 0.05", s.Exemplar.Value)
+		}
+		if s.Exemplar.Ts <= 0 {
+			t.Errorf("exemplar timestamp %v, want > 0", s.Exemplar.Ts)
+		}
+	}
+	if withEx != 1 {
+		t.Fatalf("%d exemplar lines, want exactly 1\n%s", withEx, text)
+	}
+	if withoutEx == 0 {
+		t.Fatal("no plain lines parsed")
+	}
+	if got := h.LastExemplarTrace(0.05); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("LastExemplarTrace = %q", got)
+	}
+	if got := h.LastExemplarTrace(0.005); got != "" {
+		t.Errorf("untraced bucket has exemplar %q", got)
+	}
+}
+
+// TestExemplarReplacement keeps only the last exemplar per bucket.
+func TestExemplarReplacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "x.", []float64{1})
+	h.ObserveExemplar(0.5, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	h.ObserveExemplar(0.7, "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb")
+	if got := h.LastExemplarTrace(0.9); got != "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb" {
+		t.Fatalf("exemplar not replaced: %q", got)
+	}
+}
+
+func TestParseExemplarForms(t *testing.T) {
+	good := `x_bucket{le="1"} 3 # {trace_id="ab"} 0.5 1700000000.123
+x_bucket{le="+Inf"} 4 # {trace_id="cd"} 2
+x_count 4
+`
+	samples, err := ParseText(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good exemplars rejected: %v", err)
+	}
+	if samples[0].Exemplar.Ts != 1700000000.123 {
+		t.Errorf("ts: %v", samples[0].Exemplar.Ts)
+	}
+	if samples[1].Exemplar.Ts != 0 || samples[1].Exemplar.Value != 2 {
+		t.Errorf("optional-ts exemplar: %+v", samples[1].Exemplar)
+	}
+	if samples[2].Exemplar != nil {
+		t.Error("plain line grew an exemplar")
+	}
+
+	bad := []string{
+		`x_bucket{le="1"} 3 # 0.5`,                       // no label set
+		`x_bucket{le="1"} 3 # {trace_id="ab"}`,           // no value
+		`x_bucket{le="1"} 3 # {trace_id="ab"} 0.5 1 2`,   // trailing junk
+		`x_bucket{le="1"} 3 # {trace_id="ab"} 0.5 what`,  // bad ts
+		`x_bucket{le="1"} 3 # {trace_id="ab} 0.5`,        // unterminated label
+		`x_bucket{le="1"} 3 # {trace_id="ab"} notafloat`, // bad value
+	}
+	for _, line := range bad {
+		if _, err := ParseText(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("malformed exemplar accepted: %q", line)
+		}
+	}
+}

@@ -81,10 +81,28 @@ type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sumBits atomic.Uint64   // math.Float64bits of the running sum
+
+	// exemplars holds the last exemplar seen per bucket (len(bounds)+1,
+	// +Inf last), published with one atomic pointer store and rendered
+	// in OpenMetrics exemplar syntax so a histogram bucket links back
+	// to a concrete stored trace.
+	exemplars []atomic.Pointer[bucketExemplar]
+}
+
+// bucketExemplar is one stored per-bucket exemplar.
+type bucketExemplar struct {
+	traceID string
+	value   float64
+	unixMS  int64
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// observe records one value and returns the bucket index it landed in.
+func (h *Histogram) observe(v float64) int {
 	i := 0
 	// Linear scan: bucket counts are small (~16) and the loop is
 	// branch-predictable; a binary search buys nothing at this size.
@@ -96,13 +114,38 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		s := math.Float64frombits(old) + v
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
-			return
+			return i
 		}
+	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the landing bucket's exemplar with (traceID, v, now). The
+// empty-traceID path is exactly Observe — untraced requests pay no
+// exemplar cost.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&bucketExemplar{traceID: traceID, value: v, unixMS: time.Now().UnixMilli()})
 	}
 }
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// LastExemplarTrace returns the trace id of the exemplar stored for
+// the bucket that v falls into ("" when none) — the scrape-free join
+// tests and tooling use to follow a latency back to its trace.
+func (h *Histogram) LastExemplarTrace(v float64) string {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if ex := h.exemplars[i].Load(); ex != nil {
+		return ex.traceID
+	}
+	return ""
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
@@ -224,7 +267,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
 		}
 	}
-	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	h := &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[bucketExemplar], len(bounds)+1),
+	}
 	s := &series{h: h}
 	// Pre-render the per-bucket label suffixes: the fixed labels plus
 	// le="bound", and le="+Inf" last.
@@ -307,6 +354,17 @@ func (s *series) render(buf []byte, name string) []byte {
 			buf = append(buf, s.bucketLabels[i]...)
 			buf = append(buf, ' ')
 			buf = strconv.AppendUint(buf, cum, 10)
+			// OpenMetrics exemplar suffix: # {trace_id="…"} value ts.
+			// Prometheus's text parser (0.0.4) ignores everything after
+			// #; OpenMetrics scrapers and our own ParseText read it.
+			if ex := s.h.exemplars[i].Load(); ex != nil {
+				buf = append(buf, " # {trace_id=\""...)
+				buf = append(buf, ex.traceID...)
+				buf = append(buf, "\"} "...)
+				buf = append(buf, formatFloat(ex.value)...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendFloat(buf, float64(ex.unixMS)/1000, 'f', 3, 64)
+			}
 			buf = append(buf, '\n')
 		}
 		buf = append(buf, name...)

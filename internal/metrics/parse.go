@@ -22,6 +22,29 @@ type Sample struct {
 	Labels map[string]string
 	// Value is the sample value (+Inf/-Inf/NaN parse like Prometheus).
 	Value float64
+	// Exemplar is the OpenMetrics exemplar attached to the line, nil
+	// when the line carried none.
+	Exemplar *Exemplar
+}
+
+// Exemplar is a parsed OpenMetrics exemplar: `# {labels} value [ts]`
+// appended to a bucket line, linking it to one concrete observation
+// (for this repo, always a trace_id label).
+type Exemplar struct {
+	// Labels holds the exemplar label set (trace_id for our emitter).
+	Labels map[string]string
+	// Value is the exemplar's observed value.
+	Value float64
+	// Ts is the exemplar timestamp in unix seconds; 0 when omitted.
+	Ts float64
+}
+
+// TraceID returns the trace_id exemplar label ("" when absent).
+func (e *Exemplar) TraceID() string {
+	if e == nil {
+		return ""
+	}
+	return e.Labels["trace_id"]
 }
 
 // Label returns one label's value ("" when absent).
@@ -121,15 +144,51 @@ func parseSample(line string) (Sample, error) {
 		rest = rest[end:]
 	}
 	rest = strings.TrimPrefix(rest, " ")
-	if rest == "" || strings.ContainsAny(rest, " \t") {
+	val, exPart, hasEx := strings.Cut(rest, " # ")
+	if val == "" || strings.ContainsAny(val, " \t") {
 		return s, fmt.Errorf("malformed value in %q", line)
 	}
-	v, err := parseValue(rest)
+	v, err := parseValue(val)
 	if err != nil {
 		return s, err
 	}
 	s.Value = v
+	if hasEx {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("exemplar in %q: %w", line, err)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the OpenMetrics exemplar tail after "# ":
+// `{k="v",...} value [unix-seconds]`.
+func parseExemplar(part string) (*Exemplar, error) {
+	if !strings.HasPrefix(part, "{") {
+		return nil, fmt.Errorf("exemplar without label set: %q", part)
+	}
+	end, labels, err := parseLabels(part)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(part[end:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar needs `value [timestamp]`, got %q", part[end:])
+	}
+	ex := &Exemplar{Labels: labels}
+	if ex.Value, err = parseValue(fields[0]); err != nil {
+		return nil, err
+	}
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.Ts = ts
+	}
+	return ex, nil
 }
 
 // parseLabels parses `{k="v",...}` returning the index just past the

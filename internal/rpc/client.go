@@ -12,6 +12,7 @@ import (
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/metrics"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/trace"
 )
 
 // Options tunes a Client. The zero value picks the defaults below.
@@ -46,10 +47,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// pconn is one pooled connection with its buffered reader.
+// pconn is one pooled connection with its buffered reader and the
+// protocol version the handshake negotiated for it.
 type pconn struct {
 	c    net.Conn
 	br   *bufio.Reader
+	ver  uint16
 	last time.Time
 }
 
@@ -77,7 +80,8 @@ type Client struct {
 	calls [8]atomic.Uint64
 	errs  [8]atomic.Uint64
 
-	m atomic.Pointer[ClientMetrics]
+	m      atomic.Pointer[ClientMetrics]
+	tracer atomic.Pointer[trace.Tracer]
 
 	reapStop chan struct{}
 	reapOnce sync.Once
@@ -95,6 +99,11 @@ func (c *Client) Addr() string { return c.addr }
 // SetMetrics attaches per-peer instruments (see NewClientMetrics);
 // nil detaches. Safe to call at any time.
 func (c *Client) SetMetrics(m *ClientMetrics) { c.m.Store(m) }
+
+// SetTracer makes every call emit a client span (one per attempt
+// sequence, carrying peer and method) and propagate the caller's trace
+// context in the v2 wire field. nil disables. Safe to call at any time.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer.Store(t) }
 
 // Stats snapshots the per-kind call counters.
 func (c *Client) Stats() CallStats {
@@ -154,17 +163,25 @@ func (c *Client) dial(deadline time.Time) (*pconn, bool, error) {
 		return nil, true, err
 	}
 	conn.SetDeadline(dialDeadline)
-	if err := writeHandshake(conn); err != nil {
+	if err := writeHandshake(conn, ProtoVersion); err != nil {
 		conn.Close()
 		return nil, true, err
 	}
 	br := bufio.NewReader(conn)
-	if err := readHandshake(br); err != nil {
+	// The server replies min(our version, its version); anything above
+	// what we offered or below our floor is a protocol violation.
+	ver, err := readHandshake(br)
+	if err != nil {
 		conn.Close()
 		return nil, true, err
 	}
+	if ver < minProtoVersion || ver > ProtoVersion {
+		conn.Close()
+		return nil, true, fmt.Errorf("%w: server negotiated version %d, want %d..%d",
+			ErrBadFrame, ver, minProtoVersion, ProtoVersion)
+	}
 	conn.SetDeadline(time.Time{})
-	return &pconn{c: conn, br: br}, true, nil
+	return &pconn{c: conn, br: br, ver: ver}, true, nil
 }
 
 // put returns a healthy connection to the pool (closing it when the
@@ -217,6 +234,11 @@ func (c *Client) reap() {
 func (c *Client) call(ctx context.Context, kind Kind, body func(*enc)) (*dec, error) {
 	c.calls[kind].Add(1)
 	m := c.m.Load()
+	var span *trace.Span
+	if t := c.tracer.Load(); t != nil {
+		ctx, span = t.Start(ctx, "rarc.client."+KindName(kind), trace.KindClient)
+		span.SetAttr(trace.Str("peer", c.addr))
+	}
 	start := time.Now()
 	if m != nil {
 		m.inflight.Inc()
@@ -224,7 +246,7 @@ func (c *Client) call(ctx context.Context, kind Kind, body func(*enc)) (*dec, er
 	d, err := c.callInner(ctx, kind, body)
 	if m != nil {
 		m.inflight.Dec()
-		m.latency.ObserveDuration(time.Since(start))
+		m.latency.ObserveExemplar(time.Since(start).Seconds(), span.TraceIDString())
 		m.requests[kind].Inc()
 		if err != nil {
 			m.errors[kind].Inc()
@@ -232,7 +254,9 @@ func (c *Client) call(ctx context.Context, kind Kind, body func(*enc)) (*dec, er
 	}
 	if err != nil {
 		c.errs[kind].Add(1)
+		span.SetError(err)
 	}
+	span.End()
 	return d, err
 }
 
@@ -242,9 +266,8 @@ func (c *Client) callInner(ctx context.Context, kind Kind, body func(*enc)) (*de
 		deadline = time.Now().Add(c.opts.CallTimeout)
 	}
 	reqID := c.seq.Add(1)
-	e := &enc{b: make([]byte, 0, 256)}
-	e.u64(reqID)
-	e.u8(uint8(kind))
+	be := &enc{b: make([]byte, 0, 224)}
+	body(be)
 	millis := time.Until(deadline).Milliseconds()
 	if millis < 1 {
 		millis = 1
@@ -252,8 +275,7 @@ func (c *Client) callInner(ctx context.Context, kind Kind, body func(*enc)) (*de
 	if millis > 1<<31-1 {
 		millis = 1<<31 - 1
 	}
-	e.u32(uint32(millis))
-	body(e)
+	sc, _ := trace.SpanContextOf(ctx)
 
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
@@ -271,6 +293,17 @@ func (c *Client) callInner(ctx context.Context, kind Kind, body func(*enc)) (*de
 			lastErr = err
 			continue
 		}
+		// The request header depends on the connection's negotiated
+		// version (v2 carries the trace field), so assemble it per
+		// attempt around the version-independent body.
+		e := &enc{b: make([]byte, 0, len(be.b)+8+1+4+traceContextLen)}
+		e.u64(reqID)
+		e.u8(uint8(kind))
+		e.u32(uint32(millis))
+		if pc.ver >= 2 {
+			encTraceContext(e, sc)
+		}
+		e.b = append(e.b, be.b...)
 		payload, err := c.roundTrip(pc, e.b, reqID, kind, deadline)
 		if err != nil {
 			pc.c.Close()
@@ -469,10 +502,13 @@ type ClientMetrics struct {
 	inflight *metrics.Gauge
 }
 
-// rpcLatencyBounds bracket LAN round-trips: 100µs to 2.5s.
+// rpcLatencyBounds bracket intra-cluster round-trips: 10µs to 2.5s.
+// The sub-millisecond decades matter here — same-rack rank RPCs sit
+// well under 1ms, and HTTP-scale buckets would flatten them all into
+// one bin.
 var rpcLatencyBounds = []float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+	0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
 // NewClientMetrics registers the per-peer RPC series (request and

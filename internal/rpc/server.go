@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/metrics"
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/trace"
 )
 
 // Backend is what a shard node implements to answer the typed calls
@@ -47,6 +49,9 @@ type Server struct {
 	im       sync.Mutex
 	requests map[Kind]*metrics.Counter
 	inflight *metrics.Gauge
+	duration *metrics.Histogram
+
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // NewServer returns a server dispatching to b.
@@ -54,8 +59,14 @@ func NewServer(b Backend) *Server {
 	return &Server{b: b, conns: make(map[net.Conn]struct{})}
 }
 
+// SetTracer makes every dispatched request run under a server span
+// that continues the trace carried in the v2 wire field (or roots a
+// fresh one for untraced v1 peers). nil disables.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
+
 // Instrument registers the server-side RPC series (requests served by
-// method, in-flight gauge) on reg; call before Serve.
+// method, in-flight gauge, handling-duration histogram with
+// sub-millisecond buckets) on reg; call before Serve.
 func (s *Server) Instrument(reg *metrics.Registry) {
 	s.im.Lock()
 	defer s.im.Unlock()
@@ -65,6 +76,8 @@ func (s *Server) Instrument(reg *metrics.Registry) {
 			"RPC requests served by method.", "method", name)
 	}
 	s.inflight = reg.Gauge("ra_rpc_server_in_flight", "RPC requests currently executing.")
+	s.duration = reg.Histogram("ra_rpc_server_duration_seconds",
+		"RPC request handling time (decode to encode).", rpcLatencyBounds)
 }
 
 // Serve accepts connections on l until Close (which returns nil) or an
@@ -136,10 +149,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	if err := readHandshake(conn); err != nil {
+	ver, err := readHandshake(conn)
+	if err != nil {
 		return
 	}
-	if err := writeHandshake(conn); err != nil {
+	// Negotiate down to the client's version when it is older; refuse
+	// clients older than our floor (close without replying, matching
+	// the v1 server's refusal of any mismatch).
+	if ver < minProtoVersion {
+		return
+	}
+	if ver > ProtoVersion {
+		ver = ProtoVersion
+	}
+	if err := writeHandshake(conn, ver); err != nil {
 		return
 	}
 	for {
@@ -152,10 +175,15 @@ func (s *Server) handle(conn net.Conn) {
 		reqID := d.u64()
 		kind := Kind(d.u8())
 		deadlineMillis := d.u32()
+		ctx := context.Background()
+		if ver >= 2 {
+			if rsc, ok := decTraceContext(d); ok {
+				ctx = trace.ContextWithRemote(ctx, rsc)
+			}
+		}
 		if d.bad {
 			return
 		}
-		ctx := context.Background()
 		var cancel context.CancelFunc = func() {}
 		if deadlineMillis > 0 {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMillis)*time.Millisecond)
@@ -173,7 +201,7 @@ func (s *Server) handle(conn net.Conn) {
 // encodes the response payload (id, kind, status, body).
 func (s *Server) dispatch(ctx context.Context, kind Kind, d *dec, reqID uint64) []byte {
 	s.im.Lock()
-	ctr, gauge := s.requests[kind], s.inflight
+	ctr, gauge, dur := s.requests[kind], s.inflight, s.duration
 	s.im.Unlock()
 	if ctr != nil {
 		ctr.Inc()
@@ -182,16 +210,30 @@ func (s *Server) dispatch(ctx context.Context, kind Kind, d *dec, reqID uint64) 
 		gauge.Inc()
 		defer gauge.Dec()
 	}
+	// The server span is this node's local root: it continues the
+	// coordinator's trace when the wire field carried one, and its End
+	// decides whether this node stores its slice of the trace.
+	var span *trace.Span
+	if t := s.tracer.Load(); t != nil {
+		ctx, span = t.Start(ctx, "rarc.server."+KindName(kind), trace.KindServer)
+	}
+	start := time.Now()
 
 	e := &enc{b: make([]byte, 0, 256)}
 	e.u64(reqID)
 	e.u8(uint8(kind))
 	body, err := s.run(ctx, kind, d)
+	if dur != nil {
+		dur.ObserveExemplar(time.Since(start).Seconds(), span.TraceIDString())
+	}
 	if err != nil {
+		span.SetError(err)
+		span.End()
 		e.u8(statusFor(err))
 		e.str(err.Error())
 		return e.b
 	}
+	span.End()
 	e.u8(statusOK)
 	e.b = append(e.b, body...)
 	return e.b

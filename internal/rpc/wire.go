@@ -23,10 +23,22 @@
 // concurrency (it opens more connections instead, see Client's pool).
 //
 // Versioning. ProtoVersion is bumped on any incompatible change to the
-// framing or message bodies; a server refuses a handshake carrying a
-// different version, so mixed-version clusters fail fast at connect
-// time rather than corrupting probes mid-stream. See CONTRIBUTING.md
-// for the bump policy (it mirrors the snapshot/WAL format rules).
+// framing or message bodies. Since version 2 the handshake negotiates:
+// the client leads with its own version, the server replies with
+// min(client, server) and the connection speaks that version — so an
+// old coordinator keeps working against upgraded shard nodes, while a
+// new coordinator against an old node fails fast at connect time (the
+// v1 server's strict equality check refuses the newer preamble). See
+// CONTRIBUTING.md for the bump policy (it mirrors the snapshot/WAL
+// format rules).
+//
+// Version history:
+//
+//	1 — initial framed protocol (PR 9).
+//	2 — request payloads gain a fixed 25-byte trace-context field
+//	    (flags, trace id, span id; all-zero = untraced) between
+//	    deadlineMillis and the body, so distributed traces stitch
+//	    across the coordinator/shard boundary.
 package rpc
 
 import (
@@ -38,12 +50,18 @@ import (
 	"math"
 
 	"rankedaccess/internal/order"
+	"rankedaccess/internal/trace"
 	"rankedaccess/internal/values"
 )
 
-// ProtoVersion is the wire-protocol version exchanged in the
-// handshake. Bump it on ANY incompatible framing or message change.
-const ProtoVersion = 1
+// ProtoVersion is the newest wire-protocol version this build speaks.
+// Bump it on ANY incompatible framing or message change.
+const ProtoVersion = 2
+
+// minProtoVersion is the oldest version this build still serves; the
+// negotiated connection version always lands in [minProtoVersion,
+// ProtoVersion].
+const minProtoVersion = 1
 
 // magic opens every handshake; "RARC" = RankedAccess RPC.
 var magic = [4]byte{'R', 'A', 'R', 'C'}
@@ -137,28 +155,57 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
 
-// writeHandshake sends the 8-byte magic+version preamble.
-func writeHandshake(w io.Writer) error {
+// writeHandshake sends the 8-byte magic+version preamble carrying the
+// given version (the client's own, or the server's negotiated reply).
+func writeHandshake(w io.Writer, version uint16) error {
 	var b [8]byte
 	copy(b[:4], magic[:])
-	binary.LittleEndian.PutUint16(b[4:6], ProtoVersion)
+	binary.LittleEndian.PutUint16(b[4:6], version)
 	_, err := w.Write(b[:])
 	return err
 }
 
-// readHandshake consumes and validates the peer's preamble.
-func readHandshake(r io.Reader) error {
+// readHandshake consumes the peer's preamble and returns the version
+// it carries; callers validate the version against their role's rules
+// (server: clamp to min(peer, own); client: accept what the server
+// negotiated down to).
+func readHandshake(r io.Reader) (uint16, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return err
+		return 0, err
 	}
 	if [4]byte(b[:4]) != magic {
-		return fmt.Errorf("%w: bad magic %q", ErrBadFrame, b[:4])
+		return 0, fmt.Errorf("%w: bad magic %q", ErrBadFrame, b[:4])
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != ProtoVersion {
-		return fmt.Errorf("%w: protocol version %d, want %d", ErrBadFrame, v, ProtoVersion)
+	return binary.LittleEndian.Uint16(b[4:6]), nil
+}
+
+// traceContextLen is the fixed length of the v2 trace field.
+const traceContextLen = 1 + 16 + 8
+
+// encTraceContext appends the fixed v2 trace field: flags, trace id,
+// parent span id. A zero SpanContext encodes as 25 zero bytes, which
+// decodes back to "no trace".
+func encTraceContext(e *enc, sc trace.SpanContext) {
+	e.u8(sc.Flags)
+	e.b = append(e.b, sc.TraceID[:]...)
+	e.b = append(e.b, sc.SpanID[:]...)
+}
+
+// decTraceContext consumes the fixed v2 trace field; ok is false for
+// the all-zero (untraced) field.
+func decTraceContext(d *dec) (trace.SpanContext, bool) {
+	var sc trace.SpanContext
+	sc.Flags = d.u8()
+	if d.bad || d.off+16+8 > len(d.b) {
+		d.fail()
+		return trace.SpanContext{}, false
 	}
-	return nil
+	copy(sc.TraceID[:], d.b[d.off:])
+	d.off += 16
+	copy(sc.SpanID[:], d.b[d.off:])
+	d.off += 8
+	return sc, sc.Valid()
 }
 
 // writeFrame writes one length+CRC framed payload.

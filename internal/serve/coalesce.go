@@ -12,12 +12,14 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"rankedaccess/internal/engine"
+	"rankedaccess/internal/trace"
 )
 
 // defaultCoalesceCache bounds cached response bodies. Entries are hot
@@ -65,19 +67,21 @@ func newCoalescer(max int) *coalescer {
 // cached (LRU) until evicted; errors are shared with the in-flight
 // joiners but never cached, so a transient failure does not poison the
 // key.
-func (c *coalescer) do(key string, fill func() ([]byte, error)) ([]byte, error) {
+func (c *coalescer) do(ctx context.Context, key string, fill func() ([]byte, error)) ([]byte, error) {
 	c.mu.Lock()
 	if ent := c.entries[key]; ent != nil {
 		c.seq++
 		ent.seq = c.seq
 		c.mu.Unlock()
 		c.hits.Add(1)
+		trace.FromContext(ctx).AddEvent("coalesce.hit", trace.Str("kind", "cached"))
 		return ent.body, nil
 	}
 	if fl := c.flights[key]; fl != nil {
 		c.mu.Unlock()
 		<-fl.done
 		c.hits.Add(1)
+		trace.FromContext(ctx).AddEvent("coalesce.hit", trace.Str("kind", "joined"))
 		return fl.body, fl.err
 	}
 	fl := &coalFlight{done: make(chan struct{})}
@@ -85,6 +89,7 @@ func (c *coalescer) do(key string, fill func() ([]byte, error)) ([]byte, error) 
 	c.mu.Unlock()
 
 	c.misses.Add(1)
+	trace.FromContext(ctx).AddEvent("coalesce.miss")
 	fl.body, fl.err = fill()
 
 	c.mu.Lock()

@@ -25,6 +25,7 @@ import (
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/metrics"
 	"rankedaccess/internal/reqid"
+	"rankedaccess/internal/trace"
 )
 
 // serverMetrics owns the registry and the per-endpoint series.
@@ -55,14 +56,15 @@ type routeMetrics struct {
 	deprecated *metrics.Counter // non-nil only for legacy shim routes
 }
 
-// observe records one finished request.
-func (rm *routeMetrics) observe(status int, d time.Duration) {
+// observe records one finished request; a non-empty traceID becomes
+// the latency bucket's exemplar, linking /metrics to /debug/traces.
+func (rm *routeMetrics) observe(status int, d time.Duration, traceID string) {
 	class := status / 100
 	if class < 1 || class > 5 {
 		class = 5
 	}
 	rm.classes[class-1].Inc()
-	rm.lat.ObserveDuration(d)
+	rm.lat.ObserveExemplar(d.Seconds(), traceID)
 }
 
 var classNames = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
@@ -312,6 +314,23 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			sr.Header().Set("X-Request-ID", id)
 			r = r.WithContext(reqid.With(r.Context(), id))
 		}
+		// The HTTP server span: adopt the caller's trace when the
+		// request carries a valid traceparent (this server is one hop
+		// of a larger request), mint one otherwise. With no tracer
+		// configured this whole block is two nil checks.
+		var span *trace.Span
+		if s.tracer != nil {
+			ctx := r.Context()
+			if sc, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				ctx = trace.ContextWithRemote(ctx, sc)
+			}
+			ctx, span = s.tracer.Start(ctx, "http."+endpoint, trace.KindServer)
+			span.SetAttr(
+				trace.Str("endpoint", endpoint),
+				trace.Str("method", r.Method),
+			)
+			r = r.WithContext(ctx)
+		}
 		rm.inflight.Inc()
 		start := time.Now()
 		panicked := true
@@ -329,9 +348,18 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			}
 			sr.ResponseWriter = nil
 			recPool.Put(sr)
-			rm.observe(status, d)
+			var traceID string
+			if span != nil {
+				traceID = span.TraceIDString()
+				span.SetAttr(trace.Int("status", int64(status)))
+				if status >= 500 {
+					span.SetErrorString(http.StatusText(status))
+				}
+				span.End()
+			}
+			rm.observe(status, d, traceID)
 			if s.reqLog != nil {
-				s.logRequest(r, endpoint, id, status, bytes, d)
+				s.logRequest(r, endpoint, id, traceID, status, bytes, d)
 			}
 		}()
 		h(sr, r)

@@ -20,10 +20,11 @@ type apiHandler struct {
 
 // NewOpsHandler mounts the operational surface for a handler returned
 // by NewHandler/NewHandlerWith: the standard /debug/pprof/* handlers,
-// plus the same /metrics, /healthz, and /readyz the API serves, so an
-// operator on the private port never needs the public one. Nothing
-// here passes admission or the request middleware — an overloaded or
-// misbehaving server is exactly when profiles matter.
+// the trace explorer at /debug/traces when the API was configured with
+// a Tracer, plus the same /metrics, /healthz, and /readyz the API
+// serves, so an operator on the private port never needs the public
+// one. Nothing here passes admission or the request middleware — an
+// overloaded or misbehaving server is exactly when profiles matter.
 func NewOpsHandler(api http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -35,6 +36,9 @@ func NewOpsHandler(api http.Handler) http.Handler {
 		mux.HandleFunc("GET /metrics", ah.s.handleMetrics)
 		mux.HandleFunc("GET /healthz", ah.s.handleHealthz)
 		mux.HandleFunc("GET /readyz", ah.s.handleReadyz)
+		if t := ah.s.tracer; t != nil {
+			mux.Handle("GET /debug/traces", t.Store().Handler())
+		}
 	}
 	return mux
 }

@@ -94,7 +94,7 @@ func (ls *logSampler) admit(now time.Time) bool {
 // logRequest emits the per-request record; called from the instrument
 // middleware's defer, so every exit path — including sheds and panics —
 // produces exactly one record (or one sampled-out count).
-func (s *server) logRequest(r *http.Request, endpoint, id string, status int, bytes int64, d time.Duration) {
+func (s *server) logRequest(r *http.Request, endpoint, id, traceID string, status int, bytes int64, d time.Duration) {
 	if !s.logSamp.admit(time.Now()) {
 		s.mets.logsSampledOut.Inc()
 		return
@@ -106,7 +106,8 @@ func (s *server) logRequest(r *http.Request, endpoint, id string, status int, by
 	case status >= 400:
 		level = slog.LevelWarn
 	}
-	s.reqLog.LogAttrs(r.Context(), level, "request",
+	attrs := make([]slog.Attr, 0, 9)
+	attrs = append(attrs,
 		slog.String("request_id", id),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
@@ -116,4 +117,8 @@ func (s *server) logRequest(r *http.Request, endpoint, id string, status int, by
 		slog.Duration("duration", d),
 		slog.String("client", clientKey(r)),
 	)
+	if traceID != "" {
+		attrs = append(attrs, slog.String("trace_id", traceID))
+	}
+	s.reqLog.LogAttrs(r.Context(), level, "request", attrs...)
 }

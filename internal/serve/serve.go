@@ -77,6 +77,7 @@ import (
 	"rankedaccess/internal/engine"
 	"rankedaccess/internal/metrics"
 	"rankedaccess/internal/rpc"
+	"rankedaccess/internal/trace"
 	"rankedaccess/internal/values"
 )
 
@@ -185,6 +186,13 @@ type Config struct {
 	// series (per-peer RPC metrics, RPC server counters) to the same
 	// /metrics endpoint.
 	ExtraMetrics func(*metrics.Registry)
+
+	// Tracer, when non-nil, wraps every request in a server span:
+	// incoming traceparent headers are adopted (the request joins its
+	// caller's trace), otherwise a trace is minted; latency-histogram
+	// exemplars link /metrics buckets to the stored traces. Nil
+	// disables tracing with zero per-request cost.
+	Tracer *trace.Tracer
 }
 
 // server holds one mounted API's state: the engine, admission
@@ -209,6 +217,7 @@ type server struct {
 	mets    *serverMetrics // /metrics registry + per-endpoint series
 	reqLog  *slog.Logger   // nil: request logging off
 	logSamp logSampler
+	tracer  *trace.Tracer // nil: tracing off
 
 	healthMu sync.Mutex
 	healthAt time.Time
@@ -247,6 +256,7 @@ func NewHandlerWith(e *engine.Engine, cfg Config) http.Handler {
 		s.coal = newCoalescer(cfg.CoalesceCache)
 	}
 	s.reqLog = cfg.RequestLog
+	s.tracer = cfg.Tracer
 	s.logSamp.max = int64(cfg.LogMaxPerSec)
 	if s.logSamp.max == 0 {
 		s.logSamp.max = defaultLogMaxPerSec
@@ -430,7 +440,7 @@ type accessResponse struct {
 // shard node), which abort the whole batch: a half-answered batch
 // whose gaps mean "the cluster is down", not "out of range", would
 // read as data.
-func buildAccessResponse(h *engine.Handle, ks []int64) (accessResponse, error) {
+func buildAccessResponse(ctx context.Context, h *engine.Handle, ks []int64) (accessResponse, error) {
 	resp := accessResponse{
 		Total:     h.Total(),
 		Mode:      string(h.Plan.Mode),
@@ -444,7 +454,7 @@ func buildAccessResponse(h *engine.Handle, ks []int64) (accessResponse, error) {
 		resp.Answers[i].K = k
 		start := len(flat)
 		var err error
-		flat, err = h.AppendTuple(flat, k)
+		flat, err = h.AppendTupleCtx(ctx, flat, k)
 		if err != nil {
 			if errors.Is(err, rpc.ErrUnavailable) || errors.Is(err, rpc.ErrStaleVersion) {
 				return accessResponse{}, err
@@ -468,7 +478,7 @@ func (s *server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := buildAccessResponse(h, req.Ks)
+	resp, err := buildAccessResponse(r.Context(), h, req.Ks)
 	if err != nil {
 		failErr(w, err)
 		return
@@ -509,7 +519,7 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	flatP := tuplePool.Get().(*[]values.Value)
-	flat, err := h.AccessRange((*flatP)[:0], req.K0, req.K1)
+	flat, err := h.AccessRangeCtx(r.Context(), (*flatP)[:0], req.K0, req.K1)
 	if err != nil {
 		putTupleBuf(flatP, flat)
 		status := http.StatusBadRequest

@@ -238,7 +238,7 @@ func (s *server) handleV1Access(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.coal == nil {
-		resp, err := buildAccessResponse(h, req.Ks)
+		resp, err := buildAccessResponse(r.Context(), h, req.Ks)
 		if err != nil {
 			failErr(w, err)
 			return
@@ -247,8 +247,8 @@ func (s *server) handleV1Access(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := coalesceKey("access", pq.ID(), h.Version(), req.Ks...)
-	body, err := s.coal.do(key, func() ([]byte, error) {
-		resp, err := buildAccessResponse(h, req.Ks)
+	body, err := s.coal.do(r.Context(), key, func() ([]byte, error) {
+		resp, err := buildAccessResponse(r.Context(), h, req.Ks)
 		if err != nil {
 			return nil, err
 		}
@@ -289,9 +289,9 @@ func (s *server) handleV1Range(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := coalesceKey("range", pq.ID(), h.Version(), req.K0, req.K1)
-	body, err := s.coal.do(key, func() ([]byte, error) {
+	body, err := s.coal.do(r.Context(), key, func() ([]byte, error) {
 		flatP := tuplePool.Get().(*[]values.Value)
-		flat, err := h.AccessRange((*flatP)[:0], req.K0, req.K1)
+		flat, err := h.AccessRangeCtx(r.Context(), (*flatP)[:0], req.K0, req.K1)
 		if err != nil {
 			putTupleBuf(flatP, flat)
 			return nil, err

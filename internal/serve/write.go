@@ -88,7 +88,7 @@ func (s *server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		reply(w, writeResponse{Version: s.e.Version()})
 		return
 	}
-	v, err := s.e.ApplyBatch(muts)
+	v, err := s.e.ApplyBatchCtx(r.Context(), muts)
 	if err != nil {
 		// A broken WAL fails every write until repair: that is server
 		// overload/unavailability, not a bad request.

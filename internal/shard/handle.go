@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -16,10 +17,12 @@ import (
 // is valid until the next access with the same buffer. The error
 // returns exist for parts served over the network (see NewRemote);
 // in-process parts never fail a rank.
+// The context parameter exists for the network path (deadlines, trace
+// propagation); in-process parts ignore it, so it costs nothing there.
 type part interface {
 	total() int64
-	rank(a order.Answer) (int64, bool, error)
-	access(k int64, b *access.LexBuf) (order.Answer, error)
+	rank(ctx context.Context, a order.Answer) (int64, bool, error)
+	access(ctx context.Context, k int64, b *access.LexBuf) (order.Answer, error)
 	newBuf() *access.LexBuf
 }
 
@@ -27,18 +30,18 @@ type part interface {
 // trip: AppendRange prefetches windows of their local answers through
 // fetchRange instead of probing one answer at a time.
 type chunkedPart interface {
-	fetchRange(k0, k1 int64) ([]order.Answer, error)
+	fetchRange(ctx context.Context, k0, k1 int64) ([]order.Answer, error)
 }
 
 type lexPart struct{ la *access.Lex }
 
 func (p lexPart) total() int64           { return p.la.Total() }
 func (p lexPart) newBuf() *access.LexBuf { return p.la.NewBuf() }
-func (p lexPart) rank(a order.Answer) (int64, bool, error) {
+func (p lexPart) rank(_ context.Context, a order.Answer) (int64, bool, error) {
 	r, ex := p.la.Rank(a)
 	return r, ex, nil
 }
-func (p lexPart) access(k int64, b *access.LexBuf) (order.Answer, error) {
+func (p lexPart) access(_ context.Context, k int64, b *access.LexBuf) (order.Answer, error) {
 	return p.la.AccessInto(b, k)
 }
 
@@ -46,11 +49,11 @@ type sumPart struct{ s *access.Sum }
 
 func (p sumPart) total() int64           { return p.s.Total() }
 func (p sumPart) newBuf() *access.LexBuf { return nil }
-func (p sumPart) rank(a order.Answer) (int64, bool, error) {
+func (p sumPart) rank(_ context.Context, a order.Answer) (int64, bool, error) {
 	r, ex := p.s.Rank(a)
 	return r, ex, nil
 }
-func (p sumPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+func (p sumPart) access(_ context.Context, k int64, _ *access.LexBuf) (order.Answer, error) {
 	return p.s.Access(k)
 }
 
@@ -61,11 +64,11 @@ type matLexPart struct {
 
 func (p matLexPart) total() int64           { return p.m.Total() }
 func (p matLexPart) newBuf() *access.LexBuf { return nil }
-func (p matLexPart) rank(a order.Answer) (int64, bool, error) {
+func (p matLexPart) rank(_ context.Context, a order.Answer) (int64, bool, error) {
 	r, ex := p.m.RankLex(a, p.l)
 	return r, ex, nil
 }
-func (p matLexPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+func (p matLexPart) access(_ context.Context, k int64, _ *access.LexBuf) (order.Answer, error) {
 	return p.m.Access(k)
 }
 
@@ -76,11 +79,11 @@ type matSumPart struct {
 
 func (p matSumPart) total() int64           { return p.m.Total() }
 func (p matSumPart) newBuf() *access.LexBuf { return nil }
-func (p matSumPart) rank(a order.Answer) (int64, bool, error) {
+func (p matSumPart) rank(_ context.Context, a order.Answer) (int64, bool, error) {
 	r, ex := p.m.RankSum(a, p.w)
 	return r, ex, nil
 }
-func (p matSumPart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
+func (p matSumPart) access(_ context.Context, k int64, _ *access.LexBuf) (order.Answer, error) {
 	return p.m.Access(k)
 }
 
@@ -179,7 +182,7 @@ func (h *Handle) putProbe(p *probe) { h.probes.Put(p) }
 // owner's entry is the result's local index — which AppendRange uses as
 // its per-shard merge cursors. The returned answer may alias the
 // owner's probe buffer in pr.
-func (h *Handle) locate(pr *probe, k int64) (order.Answer, error) {
+func (h *Handle) locate(ctx context.Context, pr *probe, k int64) (order.Answer, error) {
 	if k < 0 || k >= h.total {
 		return nil, access.ErrOutOfBound
 	}
@@ -201,14 +204,14 @@ func (h *Handle) locate(pr *probe, k int64) (order.Answer, error) {
 			break
 		}
 		m := lo[s] + width/2
-		x, err := h.parts[s].access(m, pr.bufs[s])
+		x, err := h.parts[s].access(ctx, m, pr.bufs[s])
 		if err != nil {
 			return nil, fmt.Errorf("shard: internal: part %d access(%d): %w", s, m, err)
 		}
 		if h.ranker != nil {
 			// One scatter round: every node prices x on all its shards
 			// in a single RPC, nodes run in parallel.
-			if _, err := h.ranker.RankAll(x, pr.ranks); err != nil {
+			if _, err := h.ranker.RankAll(ctx, x, pr.ranks); err != nil {
 				return nil, err
 			}
 		} else {
@@ -216,7 +219,7 @@ func (h *Handle) locate(pr *probe, k int64) (order.Answer, error) {
 				if j == s {
 					continue
 				}
-				rj, _, err := h.parts[j].rank(x)
+				rj, _, err := h.parts[j].rank(ctx, x)
 				if err != nil {
 					return nil, err
 				}
@@ -261,8 +264,14 @@ func (h *Handle) locate(pr *probe, k int64) (order.Answer, error) {
 // Access returns the global k-th answer in the shared order. The answer
 // is freshly allocated; use AppendTuple for the allocation-free path.
 func (h *Handle) Access(k int64) (order.Answer, error) {
+	return h.AccessCtx(context.Background(), k)
+}
+
+// AccessCtx is Access with a caller context threaded through remote
+// parts (deadline and trace propagation); in-process parts ignore it.
+func (h *Handle) AccessCtx(ctx context.Context, k int64) (order.Answer, error) {
 	pr := h.getProbe()
-	x, err := h.locate(pr, k)
+	x, err := h.locate(ctx, pr, k)
 	if err != nil {
 		h.putProbe(pr)
 		return nil, err
@@ -276,8 +285,14 @@ func (h *Handle) Access(k int64) (order.Answer, error) {
 // given head variables to dst and returns the extended slice,
 // allocating only when dst lacks capacity.
 func (h *Handle) AppendTuple(dst []values.Value, head []cq.VarID, k int64) ([]values.Value, error) {
+	return h.AppendTupleCtx(context.Background(), dst, head, k)
+}
+
+// AppendTupleCtx is AppendTuple with a caller context threaded through
+// remote parts.
+func (h *Handle) AppendTupleCtx(ctx context.Context, dst []values.Value, head []cq.VarID, k int64) ([]values.Value, error) {
 	pr := h.getProbe()
-	x, err := h.locate(pr, k)
+	x, err := h.locate(ctx, pr, k)
 	if err != nil {
 		h.putProbe(pr)
 		return dst, err
@@ -294,10 +309,15 @@ func (h *Handle) AppendTuple(dst []values.Value, head []cq.VarID, k int64) ([]va
 // is an answer of some shard. The error is always nil for in-process
 // parts; remote parts surface transport failures through it.
 func (h *Handle) Rank(a order.Answer) (int64, bool, error) {
+	return h.RankCtx(context.Background(), a)
+}
+
+// RankCtx is Rank with a caller context threaded through remote parts.
+func (h *Handle) RankCtx(ctx context.Context, a order.Answer) (int64, bool, error) {
 	if h.ranker != nil {
 		pr := h.getProbe()
 		defer h.putProbe(pr)
-		exact, err := h.ranker.RankAll(a, pr.ranks)
+		exact, err := h.ranker.RankAll(ctx, a, pr.ranks)
 		if err != nil {
 			return 0, false, err
 		}
@@ -310,7 +330,7 @@ func (h *Handle) Rank(a order.Answer) (int64, bool, error) {
 	var k int64
 	exact := false
 	for _, p := range h.parts {
-		r, ex, err := p.rank(a)
+		r, ex, err := p.rank(ctx, a)
 		if err != nil {
 			return 0, false, err
 		}
@@ -337,6 +357,12 @@ func (h *Handle) Inverted(a order.Answer) (int64, error) {
 // cursor, then a P-way merge emits the window in order, costing one
 // local O(log n) access per emitted answer plus a P-wide comparison.
 func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) ([]values.Value, error) {
+	return h.AppendRangeCtx(context.Background(), dst, head, k0, k1)
+}
+
+// AppendRangeCtx is AppendRange with a caller context threaded through
+// remote parts.
+func (h *Handle) AppendRangeCtx(ctx context.Context, dst []values.Value, head []cq.VarID, k0, k1 int64) ([]values.Value, error) {
 	if k0 >= k1 {
 		return dst, nil
 	}
@@ -350,7 +376,7 @@ func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) 
 			pr.idx[j] = 0
 		}
 	} else {
-		if _, err := h.locate(pr, k0); err != nil {
+		if _, err := h.locate(ctx, pr, k0); err != nil {
 			return dst, err
 		}
 		copy(pr.idx, pr.ranks)
@@ -359,7 +385,7 @@ func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) 
 		pr.cur[j] = nil
 		pr.pend[j] = pr.pend[j][:0]
 		pr.pi[j] = 0
-		if err := h.fillCursor(pr, j, k1-k0); err != nil {
+		if err := h.fillCursor(ctx, pr, j, k1-k0); err != nil {
 			return dst, err
 		}
 	}
@@ -382,7 +408,7 @@ func (h *Handle) AppendRange(dst []values.Value, head []cq.VarID, k0, k1 int64) 
 		pr.idx[best]++
 		pr.pi[best]++
 		pr.cur[best] = nil
-		if err := h.fillCursor(pr, best, n-1); err != nil {
+		if err := h.fillCursor(ctx, pr, best, n-1); err != nil {
 			return dst, err
 		}
 	}
@@ -399,14 +425,14 @@ const rangeChunk = 256
 // window, refilled with a size scaled to the remaining merge demand —
 // each shard contributes roughly remaining/P of the window, so that
 // estimate (plus slack) usually makes one fetch per shard suffice.
-func (h *Handle) fillCursor(pr *probe, j int, remaining int64) error {
+func (h *Handle) fillCursor(ctx context.Context, pr *probe, j int, remaining int64) error {
 	if pr.idx[j] >= h.totals[j] {
 		pr.cur[j] = nil
 		return nil
 	}
 	cp, chunked := h.parts[j].(chunkedPart)
 	if !chunked {
-		x, err := h.parts[j].access(pr.idx[j], pr.bufs[j])
+		x, err := h.parts[j].access(ctx, pr.idx[j], pr.bufs[j])
 		if err != nil {
 			return fmt.Errorf("shard: internal: part %d access(%d): %w", j, pr.idx[j], err)
 		}
@@ -428,7 +454,7 @@ func (h *Handle) fillCursor(pr *probe, j int, remaining int64) error {
 		if hi > h.totals[j] {
 			hi = h.totals[j]
 		}
-		rows, err := cp.fetchRange(pr.idx[j], hi)
+		rows, err := cp.fetchRange(ctx, pr.idx[j], hi)
 		if err != nil {
 			return fmt.Errorf("shard: part %d range [%d, %d): %w", j, pr.idx[j], hi, err)
 		}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -69,7 +70,7 @@ func (o *Owned) Rank(shard int, a order.Answer) (int64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	return p.rank(a)
+	return p.rank(context.Background(), a)
 }
 
 // RankAll prices a on the given owned shards, filling ranks (aligned
@@ -97,7 +98,7 @@ func (o *Owned) Access(shard int, k int64) (order.Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := p.access(k, p.newBuf())
+	a, err := p.access(context.Background(), k, p.newBuf())
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +128,7 @@ func (o *Owned) Range(shard int, k0, k1 int64) ([]order.Answer, error) {
 	flat := make([]int64, 0, int(n)*width)
 	out := make([]order.Answer, 0, n)
 	for k := k0; k < k1; k++ {
-		a, err := p.access(k, buf)
+		a, err := p.access(context.Background(), k, buf)
 		if err != nil {
 			return nil, err
 		}

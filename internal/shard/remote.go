@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+
 	"rankedaccess/internal/access"
 	"rankedaccess/internal/cq"
 	"rankedaccess/internal/order"
@@ -13,9 +15,9 @@ import (
 // alias shared mutable state.
 type RemotePart interface {
 	Total() int64
-	Rank(a order.Answer) (int64, bool, error)
-	Access(k int64) (order.Answer, error)
-	FetchRange(k0, k1 int64) ([]order.Answer, error)
+	Rank(ctx context.Context, a order.Answer) (int64, bool, error)
+	Access(ctx context.Context, k int64) (order.Answer, error)
+	FetchRange(ctx context.Context, k0, k1 int64) ([]order.Answer, error)
 }
 
 // BatchRanker prices an answer on every shard of the partitioning in
@@ -26,7 +28,7 @@ type RemotePart interface {
 // iteration costs one access round trip plus one parallel rank round
 // trip regardless of P.
 type BatchRanker interface {
-	RankAll(a order.Answer, ranks []int64) (exact bool, err error)
+	RankAll(ctx context.Context, a order.Answer, ranks []int64) (exact bool, err error)
 }
 
 // remotePart adapts a RemotePart to the internal part interface; it
@@ -35,14 +37,14 @@ type remotePart struct{ rp RemotePart }
 
 func (p remotePart) total() int64           { return p.rp.Total() }
 func (p remotePart) newBuf() *access.LexBuf { return nil }
-func (p remotePart) rank(a order.Answer) (int64, bool, error) {
-	return p.rp.Rank(a)
+func (p remotePart) rank(ctx context.Context, a order.Answer) (int64, bool, error) {
+	return p.rp.Rank(ctx, a)
 }
-func (p remotePart) access(k int64, _ *access.LexBuf) (order.Answer, error) {
-	return p.rp.Access(k)
+func (p remotePart) access(ctx context.Context, k int64, _ *access.LexBuf) (order.Answer, error) {
+	return p.rp.Access(ctx, k)
 }
-func (p remotePart) fetchRange(k0, k1 int64) ([]order.Answer, error) {
-	return p.rp.FetchRange(k0, k1)
+func (p remotePart) fetchRange(ctx context.Context, k0, k1 int64) ([]order.Answer, error) {
+	return p.rp.FetchRange(ctx, k0, k1)
 }
 
 // NewRemote assembles a Handle over network-served parts: the same

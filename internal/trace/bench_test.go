@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func BenchmarkStartEndUnsampled(b *testing.B) {
+	tr := New(Options{Rate: 0, Slow: time.Second, Buffer: 16})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.Start(ctx, "bench", KindServer)
+		sp.End()
+	}
+}
+
+func BenchmarkNilTracerStartEnd(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := tr.Start(ctx, "bench", KindServer)
+		sp.End()
+	}
+}

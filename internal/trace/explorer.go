@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// explorer serves the trace store as JSON on the private ops listener:
+//
+//	GET /debug/traces                  — list, newest first
+//	GET /debug/traces?sort=dur         — list, slowest root first
+//	GET /debug/traces?limit=N          — cap the list (default 100)
+//	GET /debug/traces?id=<32 hex>      — one trace as a waterfall
+type explorer struct{ store *Store }
+
+// Handler returns the /debug/traces explorer over this store.
+func (s *Store) Handler() http.Handler { return explorer{store: s} }
+
+// listEntry is one row of the trace list.
+type listEntry struct {
+	ID      string `json:"id"`
+	Root    string `json:"root"`
+	Kind    string `json:"kind"`
+	Start   int64  `json:"start_unix_nano"`
+	DurUS   int64  `json:"duration_us"`
+	Spans   int    `json:"spans"`
+	Reason  string `json:"reason"`
+	Err     string `json:"error,omitempty"`
+	Dropped int    `json:"dropped_spans,omitempty"`
+}
+
+// waterfallSpan is one span of the per-trace view; offsets are
+// relative to the trace's earliest start so a client can draw bars
+// without timestamp math.
+type waterfallSpan struct {
+	Name     string           `json:"name"`
+	ID       string           `json:"id"`
+	Parent   string           `json:"parent,omitempty"`
+	Kind     string           `json:"kind"`
+	Start    int64            `json:"start_unix_nano"`
+	OffsetUS int64            `json:"offset_us"`
+	DurUS    int64            `json:"duration_us"`
+	Err      string           `json:"error,omitempty"`
+	Attrs    map[string]any   `json:"attrs,omitempty"`
+	Events   []waterfallEvent `json:"events,omitempty"`
+}
+
+type waterfallEvent struct {
+	Name     string         `json:"name"`
+	OffsetUS int64          `json:"offset_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		switch a.Kind {
+		case AttrInt:
+			m[a.Key] = a.Num
+		case AttrBool:
+			m[a.Key] = a.Num != 0
+		default:
+			m[a.Key] = a.Str
+		}
+	}
+	return m
+}
+
+func (e explorer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if id := r.URL.Query().Get("id"); id != "" {
+		e.serveTrace(w, id)
+		return
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	traces := e.store.Snapshot()
+	entries := make([]listEntry, 0, len(traces))
+	for _, t := range traces {
+		root := t.Root()
+		if root == nil {
+			continue
+		}
+		entries = append(entries, listEntry{
+			ID:      t.ID.String(),
+			Root:    root.Name,
+			Kind:    root.Kind.String(),
+			Start:   root.Start,
+			DurUS:   root.Dur / 1e3,
+			Spans:   len(t.Spans),
+			Reason:  t.Reason,
+			Err:     root.Err,
+			Dropped: t.Dropped,
+		})
+	}
+	if r.URL.Query().Get("sort") == "dur" {
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].DurUS > entries[j].DurUS })
+	}
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	json.NewEncoder(w).Encode(map[string]any{"traces": entries})
+}
+
+func (e explorer) serveTrace(w http.ResponseWriter, id string) {
+	tid, ok := ParseTraceID(id)
+	if !ok {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "malformed trace id"})
+		return
+	}
+	t := e.store.Get(tid)
+	if t == nil {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "trace not found (evicted or never stored)"})
+		return
+	}
+	base := int64(0)
+	if root := t.Root(); root != nil {
+		base = root.Start
+	}
+	spans := make([]waterfallSpan, 0, len(t.Spans))
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		ws := waterfallSpan{
+			Name:     sp.Name,
+			ID:       sp.ID.String(),
+			Kind:     sp.Kind.String(),
+			Start:    sp.Start,
+			OffsetUS: (sp.Start - base) / 1e3,
+			DurUS:    sp.Dur / 1e3,
+			Err:      sp.Err,
+			Attrs:    attrMap(sp.Attrs),
+		}
+		if !sp.Parent.IsZero() {
+			ws.Parent = sp.Parent.String()
+		}
+		for _, ev := range sp.Events {
+			ws.Events = append(ws.Events, waterfallEvent{
+				Name:     ev.Name,
+				OffsetUS: (ev.At - base) / 1e3,
+				Attrs:    attrMap(ev.Attrs),
+			})
+		}
+		spans = append(spans, ws)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":            t.ID.String(),
+		"reason":        t.Reason,
+		"dropped_spans": t.Dropped,
+		"spans":         spans,
+	})
+}

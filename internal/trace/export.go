@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Exporter ships kept traces as OTLP/JSON over HTTP (the
+// vendor-neutral encoding any OpenTelemetry collector accepts on
+// POST /v1/traces), encoded with nothing but encoding/json. Delivery
+// is best-effort: Enqueue never blocks the request path — a full
+// queue drops the trace — and a background goroutine batches posts.
+type Exporter struct {
+	url     string
+	service string
+	client  *http.Client
+	ch      chan *Trace
+
+	mu      sync.Mutex
+	done    chan struct{}
+	dropped uint64
+	sent    uint64
+}
+
+// exportQueue bounds the in-flight buffer between the request path
+// and the posting goroutine.
+const exportQueue = 256
+
+// NewExporter starts an exporter posting to url (an OTLP/HTTP traces
+// endpoint, e.g. http://collector:4318/v1/traces), stamping every
+// resource with service.name=service. Close flushes and stops it.
+func NewExporter(url, service string) *Exporter {
+	e := &Exporter{
+		url:     url,
+		service: service,
+		client:  &http.Client{Timeout: 5 * time.Second},
+		ch:      make(chan *Trace, exportQueue),
+		done:    make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+// Enqueue hands a trace to the posting goroutine, dropping it when
+// the queue is full. Safe from any goroutine; never blocks.
+func (e *Exporter) Enqueue(t *Trace) {
+	if e == nil || t == nil {
+		return
+	}
+	select {
+	case e.ch <- t:
+	default:
+		e.mu.Lock()
+		e.dropped++
+		e.mu.Unlock()
+	}
+}
+
+// Stats reports traces posted and traces dropped on a full queue.
+func (e *Exporter) Stats() (sent, dropped uint64) {
+	if e == nil {
+		return 0, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent, e.dropped
+}
+
+// Close stops the exporter after draining whatever is queued.
+func (e *Exporter) Close() {
+	if e == nil {
+		return
+	}
+	close(e.ch)
+	<-e.done
+}
+
+func (e *Exporter) run() {
+	defer close(e.done)
+	for t := range e.ch {
+		// Drain opportunistically so bursts post as one batch.
+		batch := []*Trace{t}
+		for len(batch) < 32 {
+			select {
+			case next, ok := <-e.ch:
+				if !ok {
+					e.post(batch)
+					return
+				}
+				batch = append(batch, next)
+			default:
+				goto send
+			}
+		}
+	send:
+		e.post(batch)
+	}
+}
+
+func (e *Exporter) post(batch []*Trace) {
+	body, err := json.Marshal(otlpPayload(e.service, batch))
+	if err != nil {
+		return
+	}
+	resp, err := e.client.Post(e.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		e.mu.Lock()
+		e.dropped += uint64(len(batch))
+		e.mu.Unlock()
+		return
+	}
+	resp.Body.Close()
+	e.mu.Lock()
+	if resp.StatusCode/100 == 2 {
+		e.sent += uint64(len(batch))
+	} else {
+		e.dropped += uint64(len(batch))
+	}
+	e.mu.Unlock()
+}
+
+// otlpPayload builds the OTLP/JSON ExportTraceServiceRequest shape.
+// Field names and conventions (hex ids, u64 nanos as decimal strings,
+// kind enums INTERNAL=1/SERVER=2/CLIENT=3, status code ERROR=2)
+// follow the OTLP 1.x JSON mapping.
+func otlpPayload(service string, batch []*Trace) map[string]any {
+	spans := make([]map[string]any, 0, len(batch)*4)
+	for _, t := range batch {
+		for i := range t.Spans {
+			spans = append(spans, otlpSpan(t.ID, &t.Spans[i]))
+		}
+	}
+	return map[string]any{
+		"resourceSpans": []map[string]any{{
+			"resource": map[string]any{
+				"attributes": []map[string]any{{
+					"key":   "service.name",
+					"value": map[string]any{"stringValue": service},
+				}},
+			},
+			"scopeSpans": []map[string]any{{
+				"scope": map[string]any{"name": "rankedaccess/internal/trace"},
+				"spans": spans,
+			}},
+		}},
+	}
+}
+
+func otlpSpan(tid TraceID, sp *SpanData) map[string]any {
+	kind := 1 // INTERNAL
+	switch sp.Kind {
+	case KindServer:
+		kind = 2
+	case KindClient:
+		kind = 3
+	}
+	m := map[string]any{
+		"traceId":           tid.String(),
+		"spanId":            sp.ID.String(),
+		"name":              sp.Name,
+		"kind":              kind,
+		"startTimeUnixNano": strconv.FormatInt(sp.Start, 10),
+		"endTimeUnixNano":   strconv.FormatInt(sp.Start+sp.Dur, 10),
+	}
+	if !sp.Parent.IsZero() {
+		m["parentSpanId"] = sp.Parent.String()
+	}
+	if len(sp.Attrs) > 0 {
+		m["attributes"] = otlpAttrs(sp.Attrs)
+	}
+	if len(sp.Events) > 0 {
+		evs := make([]map[string]any, 0, len(sp.Events))
+		for _, ev := range sp.Events {
+			em := map[string]any{
+				"name":         ev.Name,
+				"timeUnixNano": strconv.FormatInt(ev.At, 10),
+			}
+			if len(ev.Attrs) > 0 {
+				em["attributes"] = otlpAttrs(ev.Attrs)
+			}
+			evs = append(evs, em)
+		}
+		m["events"] = evs
+	}
+	if sp.Err != "" {
+		m["status"] = map[string]any{"code": 2, "message": sp.Err}
+	}
+	return m
+}
+
+func otlpAttrs(attrs []Attr) []map[string]any {
+	out := make([]map[string]any, 0, len(attrs))
+	for _, a := range attrs {
+		var v map[string]any
+		switch a.Kind {
+		case AttrInt:
+			v = map[string]any{"intValue": strconv.FormatInt(a.Num, 10)}
+		case AttrBool:
+			v = map[string]any{"boolValue": a.Num != 0}
+		default:
+			v = map[string]any{"stringValue": a.Str}
+		}
+		out = append(out, map[string]any{"key": a.Key, "value": v})
+	}
+	return out
+}

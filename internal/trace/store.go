@@ -1,0 +1,135 @@
+package trace
+
+import "sync/atomic"
+
+// Trace is one kept local trace: every span this process recorded
+// under one trace id, sorted by start time (the local root first).
+type Trace struct {
+	ID TraceID
+	// Reason says why the trace was kept: "head" (rate sampler),
+	// "error" (some span failed), or "slow" (root hit the tail cut).
+	Reason string
+	Spans  []SpanData
+	// Dropped counts spans lost to the per-trace buffer cap.
+	Dropped int
+}
+
+// Root returns the local root span (the earliest-starting one).
+func (t *Trace) Root() *SpanData {
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	return &t.Spans[0]
+}
+
+// Store is a lock-free ring buffer of kept traces: writers claim slots
+// with one atomic add and publish with one atomic pointer store, so a
+// burst of kept traces never contends on a mutex in the request path.
+// Readers snapshot whatever is published; a trace may be overwritten
+// between listing and lookup, which the explorer reports as not found.
+type Store struct {
+	slots []atomic.Pointer[Trace]
+	head  atomic.Uint64
+}
+
+// NewStore builds a ring holding up to n traces (n ≥ 1 forced).
+func NewStore(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	return &Store{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Add publishes a trace, overwriting the oldest slot once full.
+func (s *Store) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	i := s.head.Add(1) - 1
+	s.slots[i%uint64(len(s.slots))].Store(t)
+}
+
+// Snapshot returns the published traces, newest first.
+func (s *Store) Snapshot() []*Trace {
+	if s == nil {
+		return nil
+	}
+	n := uint64(len(s.slots))
+	head := s.head.Load()
+	if head > n {
+		head = n
+	}
+	out := make([]*Trace, 0, head)
+	// Walk backward from the most recent claim; slots may still be
+	// publishing (nil) or re-published out of order — skip holes.
+	start := s.head.Load()
+	for k := uint64(0); k < n && uint64(len(out)) < n; k++ {
+		i := (start + n - 1 - k) % n
+		if t := s.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Get returns the stored trace with the given id, or nil. A process
+// may hold several slices of one distributed trace (a shard node
+// serving the prepare, rank, and access RPCs of one request commits
+// each server span's subtree separately); Get merges them into a
+// single trace, spans re-sorted by start time, so the waterfall shows
+// everything this process did under the id.
+func (s *Store) Get(id TraceID) *Trace {
+	if s == nil {
+		return nil
+	}
+	var found []*Trace
+	for i := range s.slots {
+		if t := s.slots[i].Load(); t != nil && t.ID == id {
+			found = append(found, t)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return nil
+	case 1:
+		return found[0]
+	}
+	merged := &Trace{ID: id, Reason: found[0].Reason}
+	for _, t := range found {
+		merged.Spans = append(merged.Spans, t.Spans...)
+		merged.Dropped += t.Dropped
+		// "error" outranks "slow" outranks "head": surface the most
+		// alarming keep reason of any slice.
+		if reasonRank(t.Reason) > reasonRank(merged.Reason) {
+			merged.Reason = t.Reason
+		}
+	}
+	sortSpans(merged.Spans)
+	return merged
+}
+
+func reasonRank(r string) int {
+	switch r {
+	case "error":
+		return 3
+	case "slow":
+		return 2
+	case "head":
+		return 1
+	}
+	return 0
+}
+
+// Len counts currently published traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.slots {
+		if s.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
